@@ -1,0 +1,27 @@
+"""Shared, memoized measurement runs for the benchmark suite.
+
+Each table/figure benchmark needs the same paired (detection off/on) app
+runs; memoizing them keeps ``pytest benchmarks/ --benchmark-only`` fast
+while every benchmark still *times* the piece of the pipeline it is about.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.apps.base import AppResult, measure
+from repro.apps.registry import APPLICATIONS
+
+#: Processor counts for the Figure 4 sweep.
+SWEEP = (2, 4, 8)
+
+
+@functools.lru_cache(maxsize=None)
+def measured(app: str, nprocs: int = 8) -> AppResult:
+    return measure(APPLICATIONS[app], nprocs=nprocs)
+
+
+def warm_all(nprocs_list=(8,)) -> None:
+    for app in APPLICATIONS:
+        for nprocs in nprocs_list:
+            measured(app, nprocs)

@@ -1,0 +1,71 @@
+"""Ablation (§6.5): multi-writer diffs replacing store instrumentation.
+
+The paper estimates that switching to the multi-writer protocol and
+deriving write bitmaps from the existing diffs — so stores need not be
+instrumented at all — should remove at least ~17% of total overhead
+(instrumentation is ~68% of overhead and ~25% of accesses are stores),
+at the price of missing races where a value is overwritten with itself.
+This bench measures both halves of that trade on Water.
+"""
+
+from repro.apps.registry import APPLICATIONS
+from repro.apps.water import WaterParams
+from repro.dsm.cvm import CVM
+
+
+def run(diff_mode: bool, nprocs: int = 8):
+    spec = APPLICATIONS["water"]
+    cfg = spec.config(nprocs=nprocs, protocol="mw",
+                      diff_write_detection=diff_mode)
+    return CVM(cfg).run(spec.func, spec.default_params)
+
+
+def test_diff_write_detection_cuts_instrumentation(benchmark):
+    diff_res = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    instr_res = run(False)
+
+    # Stores are no longer instrumented: fewer shared analysis calls...
+    assert diff_res.shared_instr_calls < instr_res.shared_instr_calls
+    # ... and measurably less instrumentation overhead.
+    d = diff_res.aggregate_ledger()
+    i = instr_res.aggregate_ledger()
+    from repro.sim.costmodel import CostCategory
+    diff_instr = (d.totals[CostCategory.PROC_CALL]
+                  + d.totals[CostCategory.ACCESS_CHECK])
+    full_instr = (i.totals[CostCategory.PROC_CALL]
+                  + i.totals[CostCategory.ACCESS_CHECK])
+    saved = 1 - diff_instr / full_instr
+    print(f"\n§6.5 ablation: diff-based write detection removes "
+          f"{saved:.0%} of instrumentation cycles "
+          f"({full_instr:,.0f} -> {diff_instr:,.0f})")
+    # The paper estimates ~17% of *total* overhead for binaries where 25%
+    # of accesses are stores; Water's instrumented calls are mostly loads
+    # and residual private accesses, so the relative saving is smaller —
+    # what must hold is that it is real and strictly positive.
+    assert saved > 0.03
+
+    # The headline bug is still found (value actually changes).
+    assert any(r.symbol.startswith("water_poteng") for r in diff_res.races)
+
+
+def test_diff_mode_weaker_guarantee():
+    """The documented miss: same-value overwrites are invisible."""
+    def app(env):
+        x = env.malloc(1, name="x")
+        if env.pid == 0:
+            env.store(x, 5)
+        env.barrier()
+        env.load(x)
+        env.barrier()
+        env.store(x, 5)  # racy, but writes the value already present
+        env.barrier()
+
+    spec = APPLICATIONS["water"]
+    cfg_diff = spec.config(nprocs=4, protocol="mw",
+                           diff_write_detection=True)
+    cfg_full = spec.config(nprocs=4, protocol="mw",
+                           diff_write_detection=False)
+    missed = CVM(cfg_diff).run(app)
+    caught = CVM(cfg_full).run(app)
+    assert missed.races == []
+    assert caught.races != []

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 4 — Slowdown vs. Number of Processors.
+
+Times the 2-processor paired measurement (one point of the sweep), then
+renders the full sweep and checks the paper's trend: slowdown does not
+grow as processors are added.
+"""
+
+from repro.apps.base import measure
+from repro.apps.registry import APPLICATIONS
+from repro.harness.context import ExperimentContext
+from repro.harness.figure4 import compute_figure4, render_figure4
+
+from benchmarks.bench_common import SWEEP, measured
+
+
+def test_figure4_sweep_and_trend(benchmark):
+    point = benchmark.pedantic(
+        lambda: measure(APPLICATIONS["fft"], nprocs=2),
+        rounds=1, iterations=1)
+    assert point.slowdown > 1
+
+    ctx = ExperimentContext()
+    for app in ctx.app_names:
+        for nprocs in SWEEP:
+            ctx._cache[(app, nprocs)] = measured(app, nprocs)
+    rows = compute_figure4(ctx, SWEEP)
+    print()
+    print(render_figure4(rows))
+
+    for r in rows:
+        # The paper's Figure 4: slowdown decreases with processor count.
+        assert r.decreasing_overall(), (r.app, r.slowdowns)
+        # Overhead exists at every point.
+        assert all(s > 1.0 for s in r.slowdowns.values())

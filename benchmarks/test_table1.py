@@ -1,0 +1,43 @@
+"""Benchmark regenerating Table 1 — Application Characteristics.
+
+Run with ``pytest benchmarks/test_table1.py --benchmark-only -s`` to see
+the rendered table.  The timed quantity is one full paired measurement
+(unaltered CVM run + race-detecting run) of one application at 8
+processors — the unit of work behind every Table 1 row.
+"""
+
+from repro.apps.base import measure
+from repro.apps.registry import APPLICATIONS
+from repro.harness.context import ExperimentContext
+from repro.harness.paper_values import PAPER_TABLE1
+from repro.harness.table1 import compute_table1, render_table1
+
+from benchmarks.bench_common import measured
+
+
+def test_table1_rows_and_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure(APPLICATIONS["sor"], nprocs=8),
+        rounds=1, iterations=1)
+    assert result.slowdown > 1
+
+    ctx = ExperimentContext()
+    # Reuse memoized pairs for the other rows.
+    for app in APPLICATIONS:
+        ctx._cache[(app, 8)] = measured(app, 8)
+    rows = compute_table1(ctx)
+    print()
+    print(render_table1(rows))
+
+    by_app = {r.app: r for r in rows}
+    # Paper-shape assertions.
+    for app, row in by_app.items():
+        paper = PAPER_TABLE1[app]["slowdown_8proc"]
+        assert 1.1 < row.slowdown < 3.5, (app, row.slowdown)
+        assert abs(row.slowdown - paper) < 1.2, (app, row.slowdown, paper)
+    assert by_app["fft"].intervals_per_barrier == 2.0
+    assert by_app["sor"].intervals_per_barrier == 2.0
+    assert by_app["tsp"].intervals_per_barrier == max(
+        r.intervals_per_barrier for r in rows)
+    avg = sum(r.slowdown for r in rows) / len(rows)
+    assert 1.4 < avg < 2.8  # paper: 2.2

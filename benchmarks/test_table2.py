@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table 2 — Instrumentation Statistics.
+
+Times the full static pipeline for one binary: compile the kernel program,
+synthesize and link the libraries, classify every load/store.
+"""
+
+from repro.harness.paper_values import PAPER_TABLE2
+from repro.harness.table2 import compute_table2, render_table2
+from repro.instrument.atom import AtomRewriter
+from repro.instrument.binaries import binary_for
+
+
+def test_table2_rows_and_shape(benchmark):
+    report = benchmark.pedantic(
+        lambda: AtomRewriter().analyze(binary_for("water")),
+        rounds=3, iterations=1)
+    assert report.binary == "water"
+
+    rows = compute_table2()
+    print()
+    print(render_table2(rows))
+
+    by_app = {r.app: r for r in rows}
+    for app, row in by_app.items():
+        # The paper's claim: >99% statically eliminated.
+        assert row.eliminated_fraction > 0.99, app
+        assert row.library > 1000
+        assert row.cvm > 1000
+    # FFT and Water link libm: far larger library residue.
+    assert by_app["fft"].library > 2 * by_app["sor"].library
+    assert by_app["water"].library > 2 * by_app["tsp"].library
+    # Water carries the largest instrumented residue, SOR the smallest —
+    # the ordering of the paper's Inst. column.
+    inst = {a: r.instrumented for a, r in by_app.items()}
+    assert inst["water"] == max(inst.values())
+    assert inst["sor"] == min(inst.values())
+    # Full paper ordering of the Inst. column: water > tsp > fft > sor.
+    assert inst["water"] > inst["tsp"] > inst["fft"] > inst["sor"]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The ATOM-analogue pipeline, end to end (paper §4/§5.1, Table 2).
+
+1. Write a kernel in the mini C-like language (as source text).
+2. Compile it to the mini ISA and link it against the synthetic libc and
+   CVM runtime.
+3. Run the static filter: classify every load/store as stack / static /
+   library / CVM / instrumentable (the paper eliminates >99% statically).
+4. Rewrite the binary, inserting an analysis call before each survivor.
+5. Execute the instrumented binary on the interpreter and watch the
+   analysis routine fire — classifying each effective address as shared
+   (heap) or private, exactly the run-time check of §5.1.
+
+Run:  python examples/atom_pipeline.py
+"""
+
+from repro.instrument.atom import AtomRewriter
+from repro.instrument.binaries import table2_reports
+from repro.instrument.linker import LIBC_CORE, link
+from repro.instrument.machine import AnalysisCounter, Machine
+from repro.instrument.parser import compile_source
+
+KERNEL_SOURCE = """
+# sum = sum(data[i]); count elements above a static threshold
+static threshold, above;
+
+func scan(data, n) {
+    local i, v, sum;
+    sum = 0;
+    for (i = 0; i < n; i += 1) {
+        v = data[i];
+        sum = sum + v;
+        if (threshold < v) { above = above + 1; }
+    }
+    return sum;
+}
+
+func main(n) {
+    local p, i;
+    p = malloc(n);
+    for (i = 0; i < n; i += 1) { p[i] = i * i; }
+    return scan(p, n);
+}
+"""
+
+
+def main():
+    obj = compile_source(KERNEL_SOURCE, name="demo")
+    image = link("demo", [obj], libraries=[LIBC_CORE])
+    print(f"linked binary: {image.total_instructions():,} instructions, "
+          f"{image.load_store_count():,} loads/stores")
+
+    rewriter = AtomRewriter()
+    report = rewriter.analyze(image)
+    print("\nstatic classification (the demo's Table 2 row):")
+    for name, count in report.row().items():
+        print(f"  {name:13s} {count:6d}")
+    print(f"  statically eliminated: {report.eliminated_fraction:.2%}")
+
+    instrumented = rewriter.instrument(image)
+    hook = AnalysisCounter()
+    machine = Machine(instrumented, analysis_hook=hook)
+    result = machine.run(10)
+    print(f"\nexecuted instrumented binary: scan sum = {result} "
+          f"(expected {sum(i * i for i in range(10))})")
+    print(f"analysis calls fired: {machine.analysis_calls} "
+          f"({hook.shared} shared, {hook.private} private)")
+
+    print("\nfull Table 2 for the paper's four applications:")
+    for app, rep in table2_reports().items():
+        row = rep.row()
+        print(f"  {app:6s} stack={row['stack']:4d} static={row['static']:3d} "
+              f"library={row['library']:6d} cvm={row['cvm']:5d} "
+              f"inst={row['instrumented']:3d} "
+              f"eliminated={rep.eliminated_fraction:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: detect a data race in a 20-line DSM program.
+
+Four simulated processes share a small array.  A counter is updated under
+a lock (properly synchronized — never reported); a "status word" is
+updated by everyone with no synchronization at all — a write-write data
+race the detector reports at the next barrier, with the affected variable
+name, the race kind, and the interval pair.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CVM, DsmConfig
+
+
+def app(env):
+    counter = env.malloc(1, name="counter")
+    status = env.malloc(1, name="status")
+    env.barrier()
+
+    # Properly synchronized: acquire the lock around the read-modify-write.
+    for _ in range(3):
+        with env.locked(0):
+            env.store(counter, env.load(counter) + 1)
+
+    # NOT synchronized: everyone scribbles on the shared status word.
+    env.store(status, env.pid, site="quickstart.py:status-update")
+
+    env.barrier()
+    return env.load(counter)
+
+
+def main():
+    config = DsmConfig(nprocs=4, page_size_words=64, segment_words=4096)
+    result = CVM(config).run(app)
+
+    print(f"counter ended at {result.results[0]} "
+          f"(3 increments x 4 processes = 12, races never corrupt it)")
+    print(f"\n{len(result.races)} data race(s) detected:")
+    for race in result.races:
+        print(f"  {race}")
+
+    print("\nDetector work for this run:")
+    st = result.detector_stats
+    print(f"  interval comparisons: {st.interval_comparisons}")
+    print(f"  concurrent pairs:     {st.concurrent_pairs}")
+    print(f"  bitmaps fetched:      {st.bitmaps_fetched} "
+          f"of {st.bitmaps_created} created")
+    assert all(r.symbol == "status" for r in result.races), \
+        "only the unsynchronized word races"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin setup.py shim so editable installs work offline (no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

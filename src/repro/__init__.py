@@ -1,0 +1,54 @@
+"""repro — Online Data-Race Detection via Coherency Guarantees.
+
+A full reproduction of Perković & Keleher (OSDI 1996) on a simulated
+lazy-release-consistent DSM.  Quickstart::
+
+    from repro import CVM, DsmConfig
+
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        env.store(x, env.pid)          # every process writes x: a race
+        env.barrier()
+
+    result = CVM(DsmConfig(nprocs=4)).run(app)
+    for race in result.races:
+        print(race)
+
+Package map:
+
+* :mod:`repro.dsm` — the CVM-analogue DSM (pages, LRC protocols, locks,
+  barriers, intervals, vector clocks) and the application Env API;
+* :mod:`repro.core` — the on-the-fly race detector and its oracles;
+* :mod:`repro.instrument` — the ATOM-analogue static toolchain;
+* :mod:`repro.apps` — FFT, SOR, TSP, Water and auxiliary programs;
+* :mod:`repro.replay` — synchronization record/replay + attribution;
+* :mod:`repro.harness` — regenerates every table and figure;
+* :mod:`repro.sim`, :mod:`repro.net` — the deterministic substrate.
+"""
+
+# Import order matters: repro.dsm must initialize before repro.core is
+# imported at package level (core.checklist pulls in dsm.interval, and
+# dsm.cvm pulls in core.detector — importing dsm first lets both halves of
+# that cycle resolve against fully-loaded submodules).
+from repro.dsm.config import DsmConfig
+from repro.dsm.cvm import CVM, Env, RunResult
+
+from repro.core.detector import DetectorStats, RaceDetector
+from repro.core.report import RaceKind, RaceReport
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CVM",
+    "DetectorStats",
+    "DsmConfig",
+    "Env",
+    "RaceDetector",
+    "RaceKind",
+    "RaceReport",
+    "ReproError",
+    "RunResult",
+    "__version__",
+]

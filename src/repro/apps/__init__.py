@@ -1,0 +1,26 @@
+"""The paper's four evaluation applications plus auxiliary examples.
+
+Each application is written as an SPMD function against the DSM
+:class:`~repro.dsm.cvm.Env` API, with the same synchronization structure as
+the original:
+
+* :mod:`repro.apps.fft` — barrier-phased 2D FFT; transpose-phase false
+  sharing, no races;
+* :mod:`repro.apps.sor` — Jacobi relaxation with page-aligned bands; no
+  unsynchronized sharing at all;
+* :mod:`repro.apps.tsp` — branch-and-bound TSP with a lock-protected work
+  queue and a deliberately unsynchronized read of the global tour bound
+  (benign read-write races, found by the paper);
+* :mod:`repro.apps.water` — miniature Water-Nsquared with fine-grained
+  force locking and the historical unsynchronized global-sum update (a
+  real write-write bug, found by the paper and fixed upstream);
+* :mod:`repro.apps.queue_racy` — Adve et al.'s weak-memory queue example
+  (the paper's Figure 5).
+
+:data:`repro.apps.registry.APPLICATIONS` indexes them for the harness.
+"""
+
+from repro.apps.base import AppResult, AppSpec
+from repro.apps.registry import APPLICATIONS, get_app
+
+__all__ = ["APPLICATIONS", "AppResult", "AppSpec", "get_app"]

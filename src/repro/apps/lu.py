@@ -1,0 +1,106 @@
+"""LU: dense LU decomposition without pivoting (row-cyclic, barriers).
+
+Not one of the paper's four applications, but a staple of the
+TreadMarks/CVM benchmark suites of the era and a useful fifth workload: a
+*pipelined* sharing pattern unlike FFT/SOR's nearest-neighbour or TSP's
+queue — at elimination step ``k`` every process reads pivot row ``k``
+(owned by process ``k mod nprocs``) and updates the trailing rows it owns.
+
+Properly synchronized with one barrier per elimination step: race-free.
+Construct with ``skip_pivot_barrier=True`` to reproduce a classic LU bug —
+the pivot row is read by consumers in the same epoch its owner normalizes
+it, an actual read-write race the detector must report on ``lu_matrix``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dsm.cvm import Env
+
+#: Compute units per trailing-update multiply-subtract.
+FLOPS_PER_UPDATE = 2
+#: Instrumented-but-private accesses per updated element.
+PRIVATE_PER_UPDATE = 2
+
+
+@dataclass(frozen=True)
+class LuParams:
+    n: int = 24
+    #: Omit the barrier between pivot normalization and the trailing
+    #: update: seeds a read-write race on the pivot row.
+    skip_pivot_barrier: bool = False
+
+
+#: A paper-era input would be 512x512 or larger.
+PAPER_PARAMS = LuParams(n=128)
+
+
+def _owner(row: int, nprocs: int) -> int:
+    """Row-cyclic distribution, the classic LU layout."""
+    return row % nprocs
+
+
+def lu(env: Env, params: LuParams = LuParams()) -> float:
+    """Factorize a deterministic diagonally-dominant matrix in place;
+    returns the trace of U (product-free determinant check proxy)."""
+    n = params.n
+    a = env.malloc(n * n, name="lu_matrix")
+    nprocs, pid = env.nprocs, env.pid
+
+    # Deterministic, diagonally dominant input: each process fills the
+    # rows it owns.
+    for r in range(n):
+        if _owner(r, nprocs) != pid:
+            continue
+        row = [((r * 13 + c * 7) % 10) - 4.5 for c in range(n)]
+        row[r] += 4.0 * n  # dominance: no pivoting needed
+        env.store_range(a + r * n, row)
+    env.barrier()
+
+    for k in range(n - 1):
+        # Pivot owner normalizes column k below the diagonal is deferred;
+        # classic right-looking LU: owner scales row k? (we use the
+        # variant where consumers divide by the pivot element themselves,
+        # so the pivot row is read-only to non-owners).
+        if not params.skip_pivot_barrier:
+            env.barrier()
+        pivot_row = env.load_range(a + k * n + k, n - k)
+        pivot = pivot_row[0]
+        for r in range(k + 1, n):
+            if _owner(r, nprocs) != pid:
+                continue
+            row = env.load_range(a + r * n + k, n - k)
+            factor = row[0] / pivot
+            updated = [factor] + [row[j] - factor * pivot_row[j]
+                                  for j in range(1, n - k)]
+            env.store_range(a + r * n + k, updated)
+            env.compute((n - k) * FLOPS_PER_UPDATE)
+            env.private_accesses((n - k) * PRIVATE_PER_UPDATE)
+        if params.skip_pivot_barrier:
+            # The buggy variant synchronizes only every 4 steps: pivot
+            # reads race with the previous step's updates to that row.
+            if k % 4 == 3:
+                env.barrier()
+    env.barrier()
+
+    trace = 0.0
+    for r in range(n):
+        trace += env.load(a + r * n + r)  # read-only epoch: race-free
+    env.barrier()
+    return trace
+
+
+def reference_lu_trace(n: int) -> float:
+    """Sequential in-place LU on the same input; returns trace(U)."""
+    a = [[((r * 13 + c * 7) % 10) - 4.5 for c in range(n)] for r in range(n)]
+    for r in range(n):
+        a[r][r] += 4.0 * n
+    for k in range(n - 1):
+        for r in range(k + 1, n):
+            factor = a[r][k] / a[k][k]
+            a[r][k] = factor
+            for j in range(k + 1, n):
+                a[r][j] -= factor * a[k][j]
+    return sum(a[i][i] for i in range(n))

@@ -1,0 +1,103 @@
+"""Adve et al.'s weak-memory queue example — the paper's Figure 5.
+
+Three processes share a queue area, a queue pointer and an empty flag.
+P1 fills the queue and publishes ``qPtr = 100`` then ``qEmpty = 0``, but
+the release that should follow is **missing**; P2's check of ``qEmpty`` is
+likewise missing its acquire.
+
+On sequentially consistent hardware, once P2 observes ``qEmpty == 0`` it
+must also observe ``qPtr == 100`` (the writes propagate in order), so only
+the qPtr/qEmpty races could occur.  On a weak-memory system nothing ties
+the two propagations together: here P2 holds a cached copy of the page
+containing ``qPtr`` but not of the one containing ``qEmpty``, so it reads
+the *fresh* flag and the *stale* pointer (37) — and writes into cells
+37, 38..., the region P3 is concurrently filling.  The w2(37)–w3(37)
+write-write collision is a race that "would not occur in an SC system"
+(the paper's Figure 5 caption); the paper's system, which reports all
+races of the actual execution (§6.4), flags it along with the qPtr and
+qEmpty read-write races.
+
+``with_sync=True`` restores the missing release/acquire as a proper
+lock-protected publication with a consumer wait loop: P2 then reads
+``qPtr = 100``, writes cells 100+, and the program is race-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsm.cvm import Env
+
+QUEUE_LOCK = 0
+#: Queue-cell indices, following the figure.
+STALE_PTR = 37
+PUBLISHED_PTR = 100
+
+
+@dataclass(frozen=True)
+class QueueParams:
+    #: Restore the missing release/acquire pair.
+    with_sync: bool = False
+    #: How many cells P2 and P3 write.
+    p2_cells: int = 2
+    p3_cells: int = 4
+
+
+def queue_app(env: Env, params: QueueParams = QueueParams()) -> int:
+    """Requires 3 processes; returns the pointer value P2 observed."""
+    # qPtr and qEmpty live on different pages: their propagation is
+    # independent, which is exactly what a weak memory model permits and
+    # an SC system forbids.
+    qptr = env.malloc(1, name="qPtr", page_aligned=True)
+    qempty = env.malloc(1, name="qEmpty", page_aligned=True)
+    cells = env.malloc(256, name="queue_cells", page_aligned=True)
+
+    # Initial state: queue empty, pointer parked at the stale value.
+    if env.pid == 0:
+        env.store(qptr, STALE_PTR)
+        env.store(qempty, 1)
+    env.barrier()
+    # P2 caches the qPtr page only; its qEmpty page copy stays absent, so
+    # a later read of the flag fetches fresh data while the pointer read
+    # hits the stale cached copy.
+    if env.pid == 1:
+        env.load(qptr)
+    env.barrier()
+
+    observed = -1
+    if env.pid == 0:
+        # P1: fill and publish the queue.
+        if params.with_sync:
+            env.lock(QUEUE_LOCK)
+        env.store(qptr, PUBLISHED_PTR, site="fig5:w1(qPtr)")
+        env.store(qempty, 0, site="fig5:w1(qEmpty)")
+        if params.with_sync:
+            env.unlock(QUEUE_LOCK)  # the release that Figure 5 is missing
+    elif env.pid == 1:
+        if params.with_sync:
+            # Proper consumer: wait for the publication under the lock.
+            while True:
+                env.lock(QUEUE_LOCK)
+                empty = env.load(qempty, site="fig5:r2(qEmpty)")
+                ptr = env.load(qptr, site="fig5:r2(qPtr)")
+                env.unlock(QUEUE_LOCK)
+                if not empty:
+                    break
+        else:
+            # Figure 5's P2: the acquire is missing.  The pause is local
+            # work (no ordering!) that lets P1's publication execute first
+            # in this run; the flag then arrives (fresh page fetch) while
+            # the pointer does not (stale cached page).
+            env.pause(3)
+            empty = env.load(qempty, site="fig5:r2(qEmpty)")
+            ptr = env.load(qptr, site="fig5:r2(qPtr)")
+        observed = ptr
+        if not empty:
+            for k in range(params.p2_cells):
+                env.store(cells + ptr + k, 2000 + k, site="fig5:w2(cell)")
+    elif env.pid == 2:
+        # P3: concurrently fill the region starting at the stale pointer.
+        for k in range(params.p3_cells):
+            env.store(cells + STALE_PTR + k, 3000 + k, site="fig5:w3(cell)")
+    env.barrier()
+    return observed

@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Usage (``python -m repro.cli <command> ...``)::
+
+    apps                         list the bundled applications
+    run APP [options]            run one application and report races
+    report [--write PATH]        regenerate every table and figure
+    attribute APP [options]      two-run §6.1 racy-access attribution
+    table2                       static instrumentation statistics
+    disasm APP [--instrumented]  mini-ISA listing of an app kernel binary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.base import measure
+from repro.apps.registry import APPLICATIONS, EXTRAS, get_app
+
+
+def _add_run_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("app", choices=sorted(APPLICATIONS) + sorted(EXTRAS))
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--protocol", choices=["sw", "mw"], default="sw")
+    p.add_argument("--policy", choices=["round_robin", "random"],
+                   default="round_robin")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--first-races-only", action="store_true")
+    p.add_argument("--paper-input", action="store_true",
+                   help="use the paper's Table 1 input set (slow)")
+
+
+def cmd_apps(_args) -> int:
+    for name, spec in {**APPLICATIONS, **EXTRAS}.items():
+        print(f"{name:12s} sync={spec.synchronization:14s} "
+              f"input={spec.input_description:20s} "
+              f"races expected: {'yes' if spec.expect_races else 'no'}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = get_app(args.app)
+    params = spec.paper_params if args.paper_input else spec.default_params
+    nprocs = 3 if args.app == "queue_racy" else args.procs
+    result = measure(spec, nprocs=nprocs, params=params,
+                     protocol=args.protocol, policy=args.policy,
+                     seed=args.seed,
+                     first_races_only=args.first_races_only)
+    res = result.detected
+    print(f"{args.app} on {nprocs} simulated processes "
+          f"({args.protocol} protocol, {args.policy} seed {args.seed})")
+    print(f"  runtime: {res.runtime_seconds * 1e3:.2f} virtual ms, "
+          f"slowdown {result.slowdown:.2f}x")
+    print(f"  memory: {res.memory_kbytes:.1f} KB shared, "
+          f"{res.barriers_completed} barriers, "
+          f"{res.lock_acquires} lock acquires, "
+          f"{res.intervals_per_barrier:.1f} intervals/barrier")
+    st = res.detector_stats
+    print(f"  detector: {st.interval_comparisons} comparisons, "
+          f"{st.concurrent_pairs} concurrent pairs, "
+          f"{st.bitmaps_fetched}/{st.bitmaps_created} bitmaps fetched")
+    if res.races:
+        print(f"\n{len(res.races)} data race(s):")
+        for race in res.races:
+            print(f"  {race}")
+    else:
+        print("\nno data races detected")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.harness.experiments import main as harness_main
+    argv = ["--write", args.write] if args.write else []
+    return harness_main(argv)
+
+
+def cmd_attribute(args) -> int:
+    from repro.replay import attribute_races
+    spec = get_app(args.app)
+    cfg = spec.config(nprocs=args.procs, protocol=args.protocol,
+                      policy=args.policy, seed=args.seed)
+    report = attribute_races(spec.func, spec.default_params, cfg)
+    if not report.races:
+        print("no races to attribute")
+        return 0
+    print(f"{len(report.races)} races; synchronization log "
+          f"{report.log_bytes} bytes; {report.replay_grants} grants "
+          "replayed.  Sites per racy variable:")
+    by_symbol = {}
+    for addr, hits in report.sites.items():
+        symbol = report.symbol_of[addr].split("+")[0]
+        by_symbol.setdefault(symbol, set()).update(h.site for h in hits)
+    for symbol in sorted(by_symbol):
+        print(f"  {symbol}:")
+        for site in sorted(by_symbol[symbol]):
+            print(f"    {site}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.core.timeline import timeline_from_run
+    from repro.dsm.cvm import CVM
+    spec = get_app(args.app)
+    nprocs = 3 if args.app == "queue_racy" else args.procs
+    cfg = spec.config(nprocs=nprocs, protocol=args.protocol,
+                      policy=args.policy, seed=args.seed,
+                      track_access_trace=True)
+    system = CVM(cfg)
+    result = system.run(spec.func, spec.default_params)
+    print(timeline_from_run(system, result))
+    if result.races:
+        print(f"\n{len(result.races)} race(s); '!' marks intervals "
+              "touching a racy word")
+    return 0
+
+
+def cmd_table2(_args) -> int:
+    from repro.harness.table2 import compute_table2, render_table2
+    print(render_table2(compute_table2()))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from repro.instrument.asm import disassemble
+    from repro.instrument.atom import AtomRewriter
+    from repro.instrument.binaries import binary_for
+    from repro.instrument.isa import Section
+    image = binary_for(args.app)
+    if args.instrumented:
+        image = AtomRewriter().instrument(image)
+    if not args.full:
+        # Application code only (libraries are synthetic filler).
+        for name in sorted(image.functions):
+            fn = image.functions[name]
+            if fn.section is Section.APP:
+                from repro.instrument.asm import disassemble_function
+                print(disassemble_function(fn))
+                print()
+    else:
+        print(disassemble(image))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps").set_defaults(func=cmd_apps)
+
+    p_run = sub.add_parser("run", help="run an application")
+    _add_run_options(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_rep = sub.add_parser("report", help="regenerate tables and figures")
+    p_rep.add_argument("--write", default=None, metavar="PATH")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_att = sub.add_parser("attribute",
+                           help="two-run racy-access attribution (§6.1)")
+    _add_run_options(p_att)
+    p_att.set_defaults(func=cmd_attribute)
+
+    sub.add_parser("table2").set_defaults(func=cmd_table2)
+
+    p_tl = sub.add_parser("timeline",
+                          help="interval/happens-before timeline of a run")
+    _add_run_options(p_tl)
+    p_tl.set_defaults(func=cmd_timeline)
+
+    p_dis = sub.add_parser("disasm", help="disassemble a kernel binary")
+    p_dis.add_argument("app", choices=["fft", "sor", "tsp", "water", "lu"])
+    p_dis.add_argument("--instrumented", action="store_true")
+    p_dis.add_argument("--full", action="store_true",
+                       help="include synthetic library code")
+    p_dis.set_defaults(func=cmd_disasm)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

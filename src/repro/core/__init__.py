@@ -1,0 +1,27 @@
+"""The paper's contribution: on-the-fly data-race detection.
+
+Modules:
+
+* :mod:`repro.core.bitmap` — word-granularity access bitmaps (one bit per
+  word of a page).
+* :mod:`repro.core.tracker` — per-interval read/write tracking: page sets
+  (notices) plus bitmaps, fed by the instrumentation runtime.
+* :mod:`repro.core.concurrency` — the concurrent-interval search over
+  vector timestamps.
+* :mod:`repro.core.checklist` — page-overlap winnowing and the *check
+  list* exchanged in the extra barrier round.
+* :mod:`repro.core.detector` — the barrier-time algorithm (paper §4,
+  steps 1–5) and its statistics.
+* :mod:`repro.core.report` — race reports with shared-segment addresses,
+  symbol resolution and interval indices.
+* :mod:`repro.core.first_race` — §6.4's first-race filtering.
+* :mod:`repro.core.baseline` — oracle detectors used for validation: an
+  exact per-access happens-before detector and an Adve-style post-mortem
+  trace analyzer.
+"""
+
+from repro.core.bitmap import Bitmap
+from repro.core.detector import DetectorStats, RaceDetector
+from repro.core.report import RaceReport
+
+__all__ = ["Bitmap", "DetectorStats", "RaceDetector", "RaceReport"]

@@ -1,0 +1,145 @@
+"""Word-granularity access bitmaps.
+
+The instrumentation sets one bit per page word accessed (paper §4: "sets a
+bit in a per-page bitmap").  Bitmap comparison — the operation that
+distinguishes false sharing from a true data race — is a constant-time
+bitwise AND over the page's bits.  We store bits in a ``bytearray`` and use
+Python's arbitrary-precision integers for whole-bitmap intersection, which
+is both fast and exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+class Bitmap:
+    """Fixed-width bitset, one bit per word of a page."""
+
+    __slots__ = ("nbits", "_bytes")
+
+    def __init__(self, nbits: int):
+        if nbits <= 0 or nbits % 8 != 0:
+            raise ValueError("nbits must be a positive multiple of 8")
+        self.nbits = nbits
+        self._bytes = bytearray(nbits // 8)
+
+    # ------------------------------------------------------------------ #
+    # Mutation.
+    # ------------------------------------------------------------------ #
+    def set(self, i: int) -> None:
+        """Set bit ``i`` (word ``i`` of the page was accessed)."""
+        if not 0 <= i < self.nbits:
+            raise IndexError(f"bit {i} out of range [0, {self.nbits})")
+        self._bytes[i >> 3] |= 1 << (i & 7)
+
+    def set_range(self, start: int, count: int) -> None:
+        """Set ``count`` consecutive bits starting at ``start``.
+
+        Used by the range-access fast path: interior whole bytes are
+        filled directly, so tracking a long vector access costs O(bytes),
+        not O(bits).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        end = start + count  # exclusive
+        if not (0 <= start and end <= self.nbits):
+            raise IndexError(f"range [{start}, {end}) out of [0, {self.nbits})")
+        first_full = (start + 7) >> 3
+        last_full = end >> 3
+        if first_full > last_full:  # range within one byte
+            for i in range(start, end):
+                self._bytes[i >> 3] |= 1 << (i & 7)
+            return
+        for i in range(start, first_full << 3):
+            self._bytes[i >> 3] |= 1 << (i & 7)
+        if last_full > first_full:
+            self._bytes[first_full:last_full] = b"\xff" * (last_full - first_full)
+        for i in range(last_full << 3, end):
+            self._bytes[i >> 3] |= 1 << (i & 7)
+
+    def clear(self) -> None:
+        for i in range(len(self._bytes)):
+            self._bytes[i] = 0
+
+    # ------------------------------------------------------------------ #
+    # Queries.
+    # ------------------------------------------------------------------ #
+    def test(self, i: int) -> bool:
+        if not 0 <= i < self.nbits:
+            raise IndexError(f"bit {i} out of range [0, {self.nbits})")
+        return bool(self._bytes[i >> 3] & (1 << (i & 7)))
+
+    def any(self) -> bool:
+        return any(self._bytes)
+
+    def count(self) -> int:
+        """Population count."""
+        return int.from_bytes(self._bytes, "little").bit_count() \
+            if hasattr(int, "bit_count") else bin(
+                int.from_bytes(self._bytes, "little")).count("1")
+
+    def overlaps(self, other: "Bitmap") -> bool:
+        """True if any bit is set in both bitmaps (constant-time in page
+        size, as the paper's bitmap comparison)."""
+        self._check_width(other)
+        return bool(int.from_bytes(self._bytes, "little")
+                    & int.from_bytes(other._bytes, "little"))
+
+    def intersection_bits(self, other: "Bitmap") -> List[int]:
+        """Indices of bits set in both bitmaps — the racy word offsets."""
+        self._check_width(other)
+        inter = (int.from_bytes(self._bytes, "little")
+                 & int.from_bytes(other._bytes, "little"))
+        bits: List[int] = []
+        while inter:
+            low = inter & -inter
+            bits.append(low.bit_length() - 1)
+            inter ^= low
+        return bits
+
+    def iter_set_bits(self) -> Iterator[int]:
+        value = int.from_bytes(self._bytes, "little")
+        while value:
+            low = value & -value
+            yield low.bit_length() - 1
+            value ^= low
+
+    # ------------------------------------------------------------------ #
+    # Encoding / misc.
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Wire size: one bit per word."""
+        return len(self._bytes)
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._bytes)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bitmap":
+        bm = cls(len(data) * 8)
+        bm._bytes[:] = data
+        return bm
+
+    def copy(self) -> "Bitmap":
+        return Bitmap.from_bytes(self._bytes)
+
+    def union_update(self, other: "Bitmap") -> None:
+        """In-place OR (used when merging diff-derived write sets)."""
+        self._check_width(other)
+        for i, b in enumerate(other._bytes):
+            self._bytes[i] |= b
+
+    def _check_width(self, other: "Bitmap") -> None:
+        if other.nbits != self.nbits:
+            raise ValueError(
+                f"bitmap width mismatch: {self.nbits} vs {other.nbits}")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bitmap) and self._bytes == other._bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bitmap(nbits={self.nbits}, set={self.count()})"

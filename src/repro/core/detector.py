@@ -1,0 +1,250 @@
+"""The barrier-time race-detection algorithm (paper §4, steps 1–5).
+
+The detector runs on the barrier master.  Inputs: every interval of the
+closing epoch (their notices arrived on barrier-arrival messages; their
+word bitmaps stayed with their creators).  It
+
+1. finds concurrent interval pairs by constant-time vector-timestamp
+   comparison,
+2. winnows them to pairs with page-level overlap of notices — the *check
+   list*,
+3. retrieves, in an extra message round, exactly the word bitmaps the check
+   list names,
+4. intersects those bitmaps: page overlap with disjoint words is false
+   sharing; any common word with at least one write is a data race, and
+5. reports the race with the affected shared-segment address (resolved to a
+   symbol), the interval indexes, and the epoch.
+
+Every step's work is charged to the master's virtual clock under the
+``INTERVALS`` or ``BITMAPS`` category so that Figure 3's overhead
+decomposition falls out of the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bitmap import Bitmap
+from repro.core.checklist import (CheckEntry, bitmaps_needed, build_check_list,
+                                  overlap_work, page_overlaps)
+from repro.core.concurrency import PairSearchStats, find_concurrent_pairs
+from repro.core.report import IntervalRef, RaceKind, RaceReport
+from repro.dsm.interval import Interval
+from repro.net.message import WireSizer
+from repro.net.transport import Transport
+from repro.sim.clock import VirtualClock
+from repro.sim.costmodel import CostCategory, CostModel
+
+
+@dataclass
+class EpochSummary:
+    """One epoch's detection work, retained for diagnostics."""
+
+    epoch: int
+    intervals: int
+    comparisons: int
+    concurrent_pairs: int
+    check_list_entries: int
+    bitmaps_fetched: int
+    races: int
+
+
+@dataclass
+class DetectorStats:
+    """Aggregate counters across all epochs of one run (Table 3 inputs)."""
+
+    epochs_checked: int = 0
+    intervals_total: int = 0
+    intervals_used: int = 0          # intervals in >=1 overlapping concurrent pair
+    interval_comparisons: int = 0
+    concurrent_pairs: int = 0
+    overlapping_pairs: int = 0       # check-list entries
+    bitmaps_created: int = 0
+    bitmaps_fetched: int = 0
+    bitmap_comparisons: int = 0
+    races_found: int = 0
+    races_suppressed_not_first: int = 0
+    #: Per-epoch history, in check order (includes consolidation passes).
+    epoch_history: List["EpochSummary"] = field(default_factory=list)
+
+    @property
+    def intervals_used_fraction(self) -> float:
+        """Table 3 "Intervals Used": share of intervals involved in at
+        least one concurrent pair with page overlap."""
+        if self.intervals_total == 0:
+            return 0.0
+        return self.intervals_used / self.intervals_total
+
+    @property
+    def bitmaps_used_fraction(self) -> float:
+        """Table 3 "Bitmaps Used": share of created bitmaps that had to be
+        retrieved to separate false from true sharing."""
+        if self.bitmaps_created == 0:
+            return 0.0
+        return self.bitmaps_fetched / self.bitmaps_created
+
+
+class RaceDetector:
+    """On-the-fly detector; one instance per CVM system."""
+
+    def __init__(self, page_size_words: int, cost_model: CostModel,
+                 sizer: WireSizer, transport: Transport,
+                 symbol_for, master_pid: int = 0,
+                 first_races_only: bool = False):
+        self.page_size_words = page_size_words
+        self.cost_model = cost_model
+        self.sizer = sizer
+        self.transport = transport
+        #: Callable addr -> str, normally SharedSegment.symbol_for.
+        self.symbol_for = symbol_for
+        self.master_pid = master_pid
+        self.first_races_only = first_races_only
+        self.stats = DetectorStats()
+        self.races: List[RaceReport] = []
+        self._seen_keys: Set[Tuple] = set()
+        self._first_race_epoch: Optional[int] = None
+        self._empty = Bitmap(page_size_words)
+
+    # ------------------------------------------------------------------ #
+    # Entry point: one epoch's analysis, run on the barrier master.
+    # ------------------------------------------------------------------ #
+    def run_epoch(self, intervals: List[Interval], epoch: int,
+                  master_clock: VirtualClock) -> List[RaceReport]:
+        """Analyze a closed epoch; returns the new race reports."""
+        self.stats.epochs_checked += 1
+        for rec in intervals:
+            self.stats.bitmaps_created += (len(rec.read_bitmaps)
+                                           + len(rec.write_bitmaps))
+
+        # Step 2: concurrent pairs (constant-time VC comparisons).
+        search = PairSearchStats()
+        pairs = list(find_concurrent_pairs(intervals, search))
+        self.stats.intervals_total += search.intervals
+        self.stats.interval_comparisons += search.comparisons
+        self.stats.concurrent_pairs += search.concurrent_pairs
+        master_clock.advance(
+            self.cost_model.interval_compare * max(1, search.comparisons),
+            CostCategory.INTERVALS)
+
+        # Step 3: page-overlap winnowing -> check list.
+        probe_work = sum(overlap_work(a, b) for a, b in pairs)
+        master_clock.advance(
+            self.cost_model.page_overlap_check * probe_work,
+            CostCategory.INTERVALS)
+        check_list = build_check_list(pairs)
+        self.stats.overlapping_pairs += len(check_list)
+        used: Set[Tuple[int, int]] = set()
+        for entry in check_list:
+            used.add((entry.a.pid, entry.a.index))
+            used.add((entry.b.pid, entry.b.index))
+        self.stats.intervals_used += len(used)
+
+        # Step 4: the extra barrier round retrieving exactly the bitmaps
+        # the check list names.
+        needed = bitmaps_needed(check_list)
+        self._charge_bitmap_round(needed, master_clock)
+        self.stats.bitmaps_fetched += len(needed)
+
+        # Step 5: bitmap comparison -> race reports.
+        new_races: List[RaceReport] = []
+        for entry in check_list:
+            new_races.extend(self._compare_entry(entry, epoch, master_clock))
+
+        self.stats.epoch_history.append(EpochSummary(
+            epoch=epoch, intervals=search.intervals,
+            comparisons=search.comparisons,
+            concurrent_pairs=search.concurrent_pairs,
+            check_list_entries=len(check_list),
+            bitmaps_fetched=len(needed), races=len(new_races)))
+
+        if self.first_races_only and new_races:
+            if self._first_race_epoch is None:
+                self._first_race_epoch = epoch
+            elif epoch > self._first_race_epoch:
+                # Races in a later epoch are necessarily affected by the
+                # earlier ones (a barrier orders the epochs), hence not
+                # "first" races (§6.4).
+                self.stats.races_suppressed_not_first += len(new_races)
+                return []
+        self.races.extend(new_races)
+        self.stats.races_found += len(new_races)
+        return new_races
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+    def _charge_bitmap_round(self, needed: Set[Tuple[int, int, int, str]],
+                             master_clock: VirtualClock) -> None:
+        """Message accounting for the bitmap retrieval round: one request
+        and one reply per process that owns needed bitmaps."""
+        if not needed:
+            return
+        by_owner: Dict[int, int] = {}
+        for pid, _idx, _page, _kind in needed:
+            by_owner[pid] = by_owner.get(pid, 0) + 1
+        for pid in sorted(by_owner):
+            count = by_owner[pid]
+            req_bytes = self.sizer.ints(1 + 4 * count)
+            reply_bytes = self.sizer.ints(1) + count * (
+                self.sizer.ints(4) + self.sizer.bitmap())
+            if pid == self.master_pid:
+                continue  # master's own bitmaps are local
+            msg = self.transport.send(
+                "bitmap_request", self.master_pid, pid, None, req_bytes,
+                master_clock, category=CostCategory.BITMAPS)
+            self.transport.stats.add_bitmap_round_bytes(msg.nbytes)
+            msg = self.transport.send(
+                "bitmap_reply", pid, self.master_pid, None, reply_bytes,
+                master_clock, category=CostCategory.BITMAPS,
+                fragmentable=True)
+            self.transport.stats.add_bitmap_round_bytes(msg.nbytes)
+
+    def _compare_entry(self, entry: CheckEntry, epoch: int,
+                       master_clock: VirtualClock) -> List[RaceReport]:
+        races: List[RaceReport] = []
+        a, b = entry.a, entry.b
+        for ov in entry.pages:
+            if ov.write_write:
+                races.extend(self._intersect(
+                    a, "write", a.write_bitmaps.get(ov.page),
+                    b, "write", b.write_bitmaps.get(ov.page),
+                    ov.page, RaceKind.WRITE_WRITE, epoch, master_clock))
+            if ov.a_read_b_write:
+                races.extend(self._intersect(
+                    a, "read", a.read_bitmaps.get(ov.page),
+                    b, "write", b.write_bitmaps.get(ov.page),
+                    ov.page, RaceKind.READ_WRITE, epoch, master_clock))
+            if ov.a_write_b_read:
+                races.extend(self._intersect(
+                    a, "write", a.write_bitmaps.get(ov.page),
+                    b, "read", b.read_bitmaps.get(ov.page),
+                    ov.page, RaceKind.READ_WRITE, epoch, master_clock))
+        return races
+
+    def _intersect(self, a: Interval, a_access: str, bm_a: Optional[Bitmap],
+                   b: Interval, b_access: str, bm_b: Optional[Bitmap],
+                   page: int, kind: RaceKind, epoch: int,
+                   master_clock: VirtualClock) -> List[RaceReport]:
+        """One bitmap comparison; absent bitmaps are empty (this is where
+        §6.5's diff-derived write detection silently loses same-value
+        overwrites: the diff produced no bits)."""
+        self.stats.bitmap_comparisons += 1
+        master_clock.advance(
+            self.cost_model.bitmap_compare_per_word * self.page_size_words,
+            CostCategory.BITMAPS)
+        bm_a = bm_a or self._empty
+        bm_b = bm_b or self._empty
+        races: List[RaceReport] = []
+        for bit in bm_a.intersection_bits(bm_b):
+            addr = page * self.page_size_words + bit
+            report = RaceReport(
+                kind=kind, addr=addr, symbol=self.symbol_for(addr),
+                page=page, offset=bit, epoch=epoch,
+                a=IntervalRef(a.pid, a.index, a_access, a.sync_label),
+                b=IntervalRef(b.pid, b.index, b_access, b.sync_label))
+            key = report.key()
+            if key not in self._seen_keys:
+                self._seen_keys.add(key)
+                races.append(report)
+        return races

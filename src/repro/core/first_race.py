@@ -1,0 +1,42 @@
+"""First-race filtering (paper §6.4).
+
+A race is *first* if it is not affected by any prior race.  Because a
+barrier is semantically a release by every arriving process to the master
+followed by a release from the master to everyone, any race in an earlier
+barrier epoch happens-before (and hence affects) every race in later
+epochs; therefore all first races live in the earliest epoch that has any.
+The online variant of this filter is built into
+:class:`repro.core.detector.RaceDetector` via ``first_races_only``; this
+module provides the equivalent post-hoc filter for report lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.report import RaceReport
+
+
+def first_epoch_with_races(reports: Iterable[RaceReport]) -> int:
+    """Earliest epoch represented among the reports.
+
+    Raises ``ValueError`` on an empty report list.
+    """
+    epochs = [r.epoch for r in reports]
+    if not epochs:
+        raise ValueError("no races reported")
+    return min(epochs)
+
+
+def filter_first_races(reports: Iterable[RaceReport]) -> List[RaceReport]:
+    """Keep only races from the earliest racy epoch.
+
+    Within a single epoch no barrier separates the races, so none of them
+    can be shown to affect another by synchronization order alone — the
+    paper keeps all of them.
+    """
+    reports = list(reports)
+    if not reports:
+        return []
+    first = first_epoch_with_races(reports)
+    return [r for r in reports if r.epoch == first]

@@ -1,0 +1,79 @@
+"""Race reports.
+
+The paper's system "prints the address of the affected variable" together
+with the interval indexes (§4 step 5, §6.1); combined with the symbol table
+this identifies the variable and synchronization context.  A
+:class:`RaceReport` carries all of that, plus the epoch, so first-race
+filtering and replay-based PC attribution can consume it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class RaceKind(enum.Enum):
+    WRITE_WRITE = "write-write"
+    READ_WRITE = "read-write"
+
+
+@dataclass(frozen=True)
+class IntervalRef:
+    """Identifies one side of a race: which interval touched the word, and
+    how (read or write)."""
+
+    pid: int
+    index: int
+    access: str  # "read" | "write"
+    sync_label: str = ""
+
+    def __str__(self) -> str:
+        return f"P{self.pid} interval {self.index} ({self.access})"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One detected data race on one shared word.
+
+    Attributes:
+        kind: write-write or read-write.
+        addr: Shared-segment word address of the affected variable.
+        symbol: ``name[+offset]`` resolved through the allocator's symbol
+            table (§6.1 reference identification).
+        page: Page containing the address.
+        offset: Word offset within the page.
+        epoch: Barrier epoch in which both intervals live.
+        a, b: The two unordered accesses (pid, interval index, kind).
+    """
+
+    kind: RaceKind
+    addr: int
+    symbol: str
+    page: int
+    offset: int
+    epoch: int
+    a: IntervalRef
+    b: IntervalRef
+
+    def key(self) -> Tuple:
+        """Deduplication key: the same word/interval pair reported once,
+        regardless of comparison order."""
+        sides = tuple(sorted([(self.a.pid, self.a.index, self.a.access),
+                              (self.b.pid, self.b.index, self.b.access)]))
+        return (self.kind, self.addr) + sides
+
+    def format(self) -> str:
+        return (f"DATA RACE ({self.kind.value}) on {self.symbol} "
+                f"(addr={self.addr}, page={self.page}+{self.offset}) "
+                f"epoch {self.epoch}: {self.a} vs {self.b}")
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def involves_symbol(report: RaceReport, name: str) -> bool:
+    """True if the report's resolved symbol is ``name`` or an offset into
+    it — convenient in tests and examples."""
+    return report.symbol == name or report.symbol.startswith(name + "+")

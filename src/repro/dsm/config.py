@@ -1,0 +1,81 @@
+"""DSM system configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.transport import DEFAULT_MAX_DATAGRAM
+from repro.sim.costmodel import CostModel
+
+#: DECstation Alphas used 8 KB pages; with 8-byte words that is 1024 words.
+DEFAULT_PAGE_SIZE_WORDS = 1024
+
+
+@dataclass
+class DsmConfig:
+    """Everything needed to stand up a CVM instance.
+
+    Attributes:
+        nprocs: Number of simulated processes.
+        page_size_words: Page size in 8-byte words (must be a multiple
+            of 8 so bitmaps pack into bytes).
+        segment_words: Capacity of the shared data segment.
+        protocol: ``"sw"`` (single-writer, the paper's prototype) or
+            ``"mw"`` (multi-writer with twins and diffs, §6.5).
+        detection: Master switch for on-the-fly race detection.  Off, the
+            system behaves like unmodified CVM (no read notices, no
+            bitmaps, no barrier analysis) — the baseline for slowdowns.
+        first_races_only: Report only races from the earliest barrier
+            epoch that has any (§6.4 extension).
+        diff_write_detection: With the multi-writer protocol, derive write
+            bitmaps from diffs instead of instrumenting stores (§6.5
+            extension; same-value overwrites become invisible).
+        inline_instrumentation: Model the promised inlining ATOM version:
+            the per-access procedure-call cost drops to zero (§6.5).
+        consolidation_interval: If > 0, run a detection/garbage-collection
+            pass after this many intervals accumulate on some process with
+            no intervening barrier (§6.3).  0 disables.
+        policy: Scheduling policy spec (``"round_robin"`` or ``"random"``).
+        seed: Seed for the scheduling policy.
+        max_datagram: Transport datagram limit in bytes.
+        fragmentable_messages: Allow oversize messages to fragment (the
+            paper's planned communication-layer fix) instead of raising.
+        cost_model: Cycle costs for virtual time.
+        track_access_trace: Record every shared access for the baseline
+            (oracle) detectors; expensive, test-scale inputs only.
+    """
+
+    nprocs: int = 8
+    page_size_words: int = DEFAULT_PAGE_SIZE_WORDS
+    segment_words: int = 1 << 20
+    protocol: str = "sw"
+    detection: bool = True
+    first_races_only: bool = False
+    diff_write_detection: bool = False
+    inline_instrumentation: bool = False
+    consolidation_interval: int = 0
+    policy: str = "round_robin"
+    seed: int = 0
+    max_datagram: int = DEFAULT_MAX_DATAGRAM
+    fragmentable_messages: bool = True
+    cost_model: CostModel = field(default_factory=CostModel)
+    track_access_trace: bool = False
+    #: Retain every transport message for inspection (tests/debugging).
+    trace_messages: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.page_size_words % 8 != 0 or self.page_size_words <= 0:
+            raise ValueError("page_size_words must be a positive multiple of 8")
+        if self.segment_words % self.page_size_words != 0:
+            raise ValueError("segment_words must be a multiple of the page size")
+        if self.protocol not in ("sw", "mw"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.diff_write_detection and self.protocol != "mw":
+            raise ValueError("diff_write_detection requires the multi-writer protocol")
+
+    @property
+    def num_pages(self) -> int:
+        return self.segment_words // self.page_size_words

@@ -1,0 +1,721 @@
+"""The CVM system facade and the per-process application environment.
+
+:class:`CVM` wires together the deterministic scheduler, the simulated
+transport, the shared segment, the coherence protocol, the synchronization
+managers and (when enabled) the race detector, then runs an SPMD application
+function on every simulated process.  :class:`Env` is the handle the
+application code receives: it exposes the DSM API (``malloc``/``load``/
+``store``/``lock``/``unlock``/``barrier``) and *is* the analogue of the
+paper's instrumentation analysis routine — every shared access that flows
+through it is classified, counted, bitmap-tracked and charged to the
+virtual clock under the proper overhead category.
+
+The synchronization operations implement lazy release consistency exactly
+as §3.1 describes: every acquire and release opens a new interval; lock
+grants and barrier messages piggyback the interval records (write notices,
+and with detection on, read notices) that the receiver has not yet seen;
+write notices invalidate stale page copies at the acquirer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.baseline.trace import TraceEvent
+from repro.core.detector import DetectorStats, RaceDetector
+from repro.core.report import RaceReport
+from repro.dsm.config import DsmConfig
+from repro.dsm.interval import Interval, intervals_unseen_by
+from repro.dsm.memory import SharedSegment
+from repro.dsm.node import IntervalStore, Node
+from repro.dsm.page import PageDirectory
+from repro.dsm.protocol import make_protocol
+from repro.dsm.sync import (BarrierState, EventState, GrantInfo,
+                            LockState)
+from repro.dsm.vector_clock import VectorClock
+from repro.errors import (AllocationError, SegmentationFault,
+                          SynchronizationError)
+from repro.net.message import WireSizer
+from repro.net.stats import TrafficStats
+from repro.net.transport import Transport
+from repro.sim.costmodel import CostCategory, CostLedger
+from repro.sim.policy import make_policy
+from repro.sim.scheduler import Scheduler
+
+#: Yield to the scheduler after this many shared accesses, so that long
+#: computation phases cannot starve other simulated processes.
+YIELD_EVERY = 512
+
+
+@dataclass
+class RunResult:
+    """Everything a finished run exposes to the harness and to tests."""
+
+    config: DsmConfig
+    races: List[RaceReport]
+    detector_stats: Optional[DetectorStats]
+    traffic: TrafficStats
+    ledgers: List[CostLedger]
+    runtime_cycles: float
+    results: List[Any]
+    intervals_created: int
+    barriers_completed: int
+    lock_acquires: int
+    shared_instr_calls: int
+    private_instr_calls: int
+    memory_kbytes: float
+    access_trace: List[TraceEvent]
+    #: Protocol-level diagnostics (faults, invalidations, transfers...).
+    protocol_stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-lock (acquires, contended) counters.
+    lock_stats: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.config.cost_model.seconds(self.runtime_cycles)
+
+    @property
+    def intervals_per_barrier(self) -> float:
+        """Average interval structures created per process per barrier
+        epoch (Table 1's "Intervals Per Barrier")."""
+        denom = self.barriers_completed * self.config.nprocs
+        if denom == 0:
+            return float(self.intervals_created)
+        return self.intervals_created / denom
+
+    def aggregate_ledger(self) -> CostLedger:
+        total = CostLedger()
+        for ledger in self.ledgers:
+            total.merge(ledger)
+        return total
+
+    def overhead_breakdown(self) -> Dict[str, float]:
+        """System-wide per-category overhead relative to base time
+        (Figure 3's bars)."""
+        return self.aggregate_ledger().breakdown()
+
+    def shared_access_rate(self) -> float:
+        """Instrumented shared accesses per virtual second (Table 3)."""
+        secs = self.runtime_seconds
+        return self.shared_instr_calls / secs if secs > 0 else 0.0
+
+    def private_access_rate(self) -> float:
+        """Instrumented private accesses per virtual second (Table 3)."""
+        secs = self.runtime_seconds
+        return self.private_instr_calls / secs if secs > 0 else 0.0
+
+
+class CVM:
+    """A configured DSM system, ready to run one SPMD application."""
+
+    def __init__(self, config: DsmConfig):
+        self.config = config
+        self.scheduler = Scheduler(policy=make_policy(config.policy, config.seed))
+        self.sizer = WireSizer(config.nprocs, config.page_size_words)
+        self.transport = Transport(config.cost_model,
+                                   max_datagram=config.max_datagram,
+                                   trace=config.trace_messages)
+        self.segment = SharedSegment(config.segment_words,
+                                     config.page_size_words)
+        self.directory = PageDirectory(config.num_pages, config.nprocs)
+        self.store = IntervalStore()
+        self.store.log_vcs = config.track_access_trace
+        self.protocol = make_protocol(config.protocol, self)
+        self.nodes: List[Node] = []
+        self.locks: Dict[int, LockState] = {}
+        self.events: Dict[int, EventState] = {}
+        self.barrier_state = BarrierState(config.nprocs, master=0)
+        self.epoch = 0
+        self.access_trace: List[TraceEvent] = []
+        self.detector: Optional[RaceDetector] = None
+        if config.detection:
+            self.detector = RaceDetector(
+                config.page_size_words, config.cost_model, self.sizer,
+                self.transport, self.segment.symbol_for, master_pid=0,
+                first_races_only=config.first_races_only)
+        #: Optional replay controller (see :mod:`repro.replay`): records or
+        #: enforces the order in which contended locks are granted.
+        self.lock_order = None
+        #: Optional program-counter watch (§6.1 second run): maps word
+        #: address -> list that collects (pid, interval, site, is_write).
+        self.pc_watch: Optional[Dict[int, List[Tuple]]] = None
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+    # Running applications.
+    # ------------------------------------------------------------------ #
+    def run(self, app: Callable[..., Any], *args: Any) -> RunResult:
+        """Run ``app(env, *args)`` on every simulated process (SPMD) and
+        return the collected result.  A final barrier is inserted after the
+        application returns so the last epoch is always race-checked."""
+        if self._ran:
+            raise SynchronizationError("a CVM instance runs one application once")
+        self._ran = True
+        for pid in range(self.config.nprocs):
+            proc = self.scheduler.spawn(self._proc_main, app, pid, args)
+            self.nodes.append(Node(pid, self.config, proc.clock, self.store))
+        self.scheduler.run()
+        return self._collect()
+
+    def _proc_main(self, app: Callable[..., Any], pid: int, args: tuple) -> Any:
+        env = Env(self, pid)
+        result = app(env, *args)
+        self.barrier(pid)  # final flush: close and check the last epoch
+        return result
+
+    def _collect(self) -> RunResult:
+        clocks = self.scheduler.clocks()
+        return RunResult(
+            config=self.config,
+            races=list(self.detector.races) if self.detector else [],
+            detector_stats=self.detector.stats if self.detector else None,
+            traffic=self.transport.stats,
+            ledgers=[c.ledger for c in clocks],
+            runtime_cycles=max(c.now for c in clocks),
+            results=self.scheduler.results(),
+            intervals_created=self.store.total_created,
+            barriers_completed=self.barrier_state.barriers_completed,
+            lock_acquires=sum(s.acquires for s in self.locks.values()),
+            shared_instr_calls=sum(n.shared_instr_calls for n in self.nodes),
+            private_instr_calls=sum(n.private_instr_calls for n in self.nodes),
+            memory_kbytes=self.segment.high_water_kbytes,
+            access_trace=self.access_trace,
+            protocol_stats=self.protocol.stats(),
+            lock_stats={lid: (st.acquires, st.contended)
+                        for lid, st in sorted(self.locks.items())},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interval helpers.
+    # ------------------------------------------------------------------ #
+    def _close_interval(self, node: Node) -> Interval:
+        closed = node.close_interval()
+        self.protocol.on_interval_closed(node, closed)
+        return closed
+
+    def _consistency_payload(self, have: VectorClock,
+                             upto: VectorClock) -> Tuple[List[Interval], int, int]:
+        """Interval records a process with clock ``have`` is missing up to
+        horizon ``upto``; returns (records, body bytes, read-notice bytes)."""
+        recs = [rec for rec in intervals_unseen_by(self.store.by_pid(),
+                                                   have, upto)
+                if not rec.is_empty]
+        with_reads = self.config.detection
+        body = self.sizer.vector_clock()
+        read_bytes = 0
+        for rec in recs:
+            body += rec.wire_size(self.sizer, with_reads)
+            if with_reads:
+                read_bytes += rec.read_notice_wire_size(self.sizer)
+        return recs, body, read_bytes
+
+    def _apply_consistency(self, node: Node, recs: List[Interval],
+                           horizon: VectorClock) -> None:
+        """Acquire-side application: invalidate per write notices, then
+        merge the horizon clock."""
+        for rec in recs:
+            self.protocol.apply_write_notice(node, rec)
+        node.vc.observe(horizon)
+
+    # ------------------------------------------------------------------ #
+    # Locks.
+    # ------------------------------------------------------------------ #
+    def _lock_state(self, lid: int) -> LockState:
+        st = self.locks.get(lid)
+        if st is None:
+            st = self.locks[lid] = LockState(lid, lid % self.config.nprocs)
+        return st
+
+    def lock_acquire(self, pid: int, lid: int) -> None:
+        node = self.nodes[pid]
+        self.scheduler.yield_control(pid)
+        st = self._lock_state(lid)
+        if self.lock_order is not None:
+            # Replay enforcement gates only the free-lock fast path: when
+            # the lock is held, the queue hand-off in ``_pick_next_waiter``
+            # follows the recorded order instead.  A bounded spin converts
+            # divergence (the recorded acquirer never shows up — possible
+            # when a data race influenced synchronization control flow,
+            # the §6.1 caveat about general races) into a clear error
+            # instead of a livelock.
+            from repro.errors import ReplayError
+            spins = 0
+            while (st.holder is None and not st.queue
+                   and not self.lock_order.may_acquire(lid, pid)):
+                spins += 1
+                if not self.scheduler.others_ready(pid) or spins > 20_000:
+                    raise ReplayError(
+                        f"replay diverged: P{pid} must wait for "
+                        f"P{self.lock_order.expected_next(lid)} to acquire "
+                        f"lock {lid} first, but that grant never happens")
+                self.scheduler.yield_control(pid)
+        self._close_interval(node)
+        if st.holder is None and not st.queue:
+            st.holder = pid
+            st.acquires += 1
+            if self.lock_order is not None:
+                self.lock_order.record_grant(lid, pid)
+            self._charge_idle_lock_acquire(node, st)
+            if st.last_release_vc is not None:
+                recs, _body, _rb = self._consistency_payload(
+                    node.vc, st.last_release_vc)
+                self._apply_consistency(node, recs, st.last_release_vc)
+        else:
+            st.queue.append(pid)
+            st.contended += 1
+            self.scheduler.block(pid, f"lock {lid}")
+            grant = st.grant_box.pop(pid)
+            node.clock.wait_until(grant.arrival_time)
+            recs, _body, _rb = self._consistency_payload(
+                node.vc, grant.release_vc)
+            self._apply_consistency(node, recs, grant.release_vc)
+        node.open_interval(f"lock({lid}) acquire")
+
+    def _charge_idle_lock_acquire(self, node: Node, st: LockState) -> None:
+        """Message accounting for acquiring an idle lock: request to the
+        manager, forward to the last releaser, grant (with piggybacked
+        consistency data) back to the requester."""
+        sizer = self.sizer
+        clock = node.clock
+        granter = st.last_releaser if st.last_releaser is not None else st.manager
+        if st.manager != node.pid:
+            self.transport.send("lock_request", node.pid, st.manager, None,
+                                sizer.ints(3), clock)
+        if granter not in (st.manager, node.pid):
+            self.transport.send("lock_forward", st.manager, granter, None,
+                                sizer.ints(3) + sizer.vector_clock(), clock)
+        if granter != node.pid:
+            horizon = st.last_release_vc
+            if horizon is not None:
+                _recs, body, read_bytes = self._consistency_payload(
+                    node.vc, horizon)
+            else:
+                body, read_bytes = sizer.vector_clock(), 0
+            msg = self.transport.send("lock_grant", granter, node.pid, None,
+                                      body, clock, fragmentable=self.config.fragmentable_messages)
+            if read_bytes:
+                self.transport.stats.add_read_notice_bytes(read_bytes)
+            clock.wait_until(msg.arrival_time)
+
+    def lock_release(self, pid: int, lid: int) -> None:
+        node = self.nodes[pid]
+        st = self._lock_state(lid)
+        if st.holder != pid:
+            raise SynchronizationError(
+                f"P{pid} released lock {lid} held by {st.holder}")
+        self._close_interval(node)
+        st.last_releaser = pid
+        st.last_release_vc = node.vc.copy()
+        node.open_interval(f"lock({lid}) release")
+        if st.queue:
+            nxt = self._pick_next_waiter(st)
+            st.holder = nxt
+            st.acquires += 1
+            if self.lock_order is not None:
+                self.lock_order.record_grant(lid, nxt)
+            _recs, body, read_bytes = self._consistency_payload(
+                self.nodes[nxt].vc, st.last_release_vc)
+            msg = self.transport.send("lock_grant", pid, nxt, None, body,
+                                      node.clock, fragmentable=self.config.fragmentable_messages)
+            if read_bytes:
+                self.transport.stats.add_read_notice_bytes(read_bytes)
+            st.grant_box[nxt] = GrantInfo(pid, st.last_release_vc,
+                                          msg.arrival_time)
+            self.scheduler.unblock(nxt)
+        else:
+            st.holder = None
+        self._maybe_consolidate(node)
+        self.scheduler.yield_control(pid)
+
+    def _pick_next_waiter(self, st: LockState) -> int:
+        """FIFO normally; under replay enforcement, the recorded acquirer
+        (who must already be queued, else we fall back to FIFO and the
+        controller flags the divergence at its next check)."""
+        if self.lock_order is not None:
+            expected = self.lock_order.expected_next(st.lid)
+            if expected is not None and expected in st.queue:
+                st.queue.remove(expected)
+                return expected
+        return st.queue.popleft()
+
+    # ------------------------------------------------------------------ #
+    # Events (one-shot flags: CVM's generalized synchronization).
+    # ------------------------------------------------------------------ #
+    def _event_state(self, eid: int) -> EventState:
+        ev = self.events.get(eid)
+        if ev is None:
+            ev = self.events[eid] = EventState(eid)
+        return ev
+
+    def event_set(self, pid: int, eid: int) -> None:
+        """Release half of an event: close the interval, record the
+        consistency horizon, wake any waiters."""
+        node = self.nodes[pid]
+        ev = self._event_state(eid)
+        if ev.is_set:
+            raise SynchronizationError(
+                f"event {eid} set twice (P{ev.setter}, then P{pid})")
+        self._close_interval(node)
+        ev.is_set = True
+        ev.setter = pid
+        ev.set_vc = node.vc.copy()
+        node.open_interval(f"event({eid}) set")
+        msg = self.transport.send(
+            "event_set", pid, (pid + 1) % self.config.nprocs, None,
+            self.sizer.ints(2) + self.sizer.vector_clock(), node.clock)
+        ev.set_time = msg.arrival_time
+        for waiter in ev.waiters:
+            self.scheduler.unblock(waiter)
+        ev.waiters.clear()
+        self.scheduler.yield_control(pid)
+
+    def event_wait(self, pid: int, eid: int) -> None:
+        """Acquire half: block until the event is set, then apply the
+        setter's consistency information (write-notice invalidations plus
+        the horizon clock)."""
+        node = self.nodes[pid]
+        ev = self._event_state(eid)
+        self._close_interval(node)
+        if not ev.is_set:
+            ev.waiters.append(pid)
+            self.scheduler.block(pid, f"event {eid}")
+        node.clock.wait_until(ev.set_time)
+        recs, _body, read_bytes = self._consistency_payload(node.vc,
+                                                            ev.set_vc)
+        if read_bytes:
+            self.transport.stats.add_read_notice_bytes(read_bytes)
+        self._apply_consistency(node, recs, ev.set_vc)
+        node.open_interval(f"event({eid}) wait")
+
+    # ------------------------------------------------------------------ #
+    # Barrier.
+    # ------------------------------------------------------------------ #
+    def barrier(self, pid: int) -> None:
+        node = self.nodes[pid]
+        self.scheduler.yield_control(pid)
+        bar = self.barrier_state
+        closed = self._close_interval(node)
+        horizon = node.vc.copy()
+        node.open_interval("barrier arrival")
+        master_node = self.nodes[bar.master]
+        if pid != bar.master:
+            recs, body, read_bytes = self._consistency_payload(
+                master_node.vc, horizon)
+            msg = self.transport.send("barrier_arrival", pid, bar.master,
+                                      None, body, node.clock,
+                                      fragmentable=self.config.fragmentable_messages)
+            if read_bytes:
+                self.transport.stats.add_read_notice_bytes(read_bytes)
+            self._apply_consistency(master_node, recs, horizon)
+            arrival_now = msg.arrival_time
+        else:
+            arrival_now = node.clock.now
+        last = bar.arrive(pid, arrival_now)
+        if not last:
+            self.scheduler.block(pid, f"barrier gen {bar.generation}")
+        else:
+            self._barrier_master_work()
+            for other in range(self.config.nprocs):
+                if other != pid:
+                    self.scheduler.unblock(other)
+        self._barrier_depart(pid)
+
+    def _barrier_master_work(self) -> None:
+        """Runs in the last arriver's thread but on the *master's* virtual
+        clock — detection overhead is serialized at the master (§6.2)."""
+        bar = self.barrier_state
+        master_node = self.nodes[bar.master]
+        master_clock = master_node.clock
+        master_clock.wait_until(max(bar.arrival_times.values()))
+        if self.detector is not None:
+            epoch_recs = self.store.epoch_intervals(self.epoch)
+            self.detector.run_epoch(epoch_recs, self.epoch, master_clock)
+        # Release payloads: one per process, carrying what it is missing.
+        # The write notices are applied (invalidating stale copies) here,
+        # *before* the checked epoch's records are discarded below; the
+        # blocked processes are not running, so mutating their page tables
+        # is safe, and their departure only needs the horizon clock.
+        release_vc = master_node.vc.copy()
+        for other in range(self.config.nprocs):
+            if other == bar.master:
+                bar.release_box[other] = (release_vc, master_clock.now)
+                continue
+            recs, body, read_bytes = self._consistency_payload(
+                self.nodes[other].vc, release_vc)
+            msg = self.transport.send("barrier_release", bar.master, other,
+                                      None, body, master_clock,
+                                      fragmentable=self.config.fragmentable_messages)
+            if read_bytes:
+                self.transport.stats.add_read_notice_bytes(read_bytes)
+            for rec in recs:
+                self.protocol.apply_write_notice(self.nodes[other], rec)
+            bar.release_box[other] = (release_vc, msg.arrival_time)
+        # The epoch is fully checked: discard its trace information
+        # (bitmaps, notices).  Also sweep the previous epoch's stragglers
+        # (the empty arrival intervals closed at departure).
+        self.store.discard_epoch(self.epoch)
+        if self.epoch > 0:
+            self.store.discard_epoch(self.epoch - 1)
+        self.epoch += 1
+        bar.reset_for_next_generation()
+
+    def _barrier_depart(self, pid: int) -> None:
+        node = self.nodes[pid]
+        bar = self.barrier_state
+        release_vc, arrival_time = bar.release_box.pop(pid)
+        node.clock.wait_until(arrival_time)
+        self._close_interval(node)  # the (empty) arrival interval
+        # Write notices were already applied by the master's release pass;
+        # departing only merges the horizon clock.
+        node.vc.observe(release_vc)
+        node.epoch = self.epoch
+        node.open_interval("barrier depart")
+
+    # ------------------------------------------------------------------ #
+    # Consolidation between barriers (§6.3).
+    # ------------------------------------------------------------------ #
+    def _maybe_consolidate(self, node: Node) -> None:
+        limit = self.config.consolidation_interval
+        if limit <= 0 or self.detector is None:
+            return
+        if node.intervals_in_current_epoch() >= limit:
+            self.consolidate(node.pid)
+
+    def consolidate(self, pid: int) -> int:
+        """Race-check and garbage-collect intervals that are already
+        ordered before every process's current view — they can never be
+        concurrent with anything created later, so they can be retired
+        without global synchronization.  Returns how many were retired."""
+        if self.detector is None:
+            return 0
+        node = self.nodes[pid]
+        current = self.store.epoch_intervals(self.epoch)
+        if not current:
+            return 0
+        self.detector.run_epoch(current, self.epoch, node.clock)
+        retired = 0
+        for rec in current:
+            if all(other.vc[rec.pid] >= rec.index for other in self.nodes):
+                table = self.store.by_pid().get(rec.pid, {})
+                if rec.index in table:
+                    del table[rec.index]
+                    retired += 1
+        return retired
+
+
+class Env:
+    """Per-process application handle: the DSM API plus the analysis
+    routine of the paper's instrumentation (access classification, bitmap
+    maintenance, cost accounting)."""
+
+    def __init__(self, system: CVM, pid: int):
+        self.system = system
+        self.pid = pid
+        self.config = system.config
+        self.nprocs = system.config.nprocs
+        self._node = system.nodes[pid]
+        self._clock = self._node.clock
+        self._cm = system.config.cost_model
+        self._psz = system.config.page_size_words
+        self._accesses_since_yield = 0
+        # Pre-resolved fast-path facts.
+        self._detect = system.config.detection
+        self._diff_writes = system.config.diff_write_detection
+        self._proc_call = (0.0 if system.config.inline_instrumentation
+                           else self._cm.proc_call)
+
+    # ------------------------------------------------------------------ #
+    # Allocation.
+    # ------------------------------------------------------------------ #
+    def malloc(self, nwords: int, name: Optional[str] = None,
+               page_aligned: bool = False) -> int:
+        """Allocate shared memory.  Named allocations are idempotent across
+        processes (the SPMD idiom: every process asks for ``"grid"`` and
+        gets the same address)."""
+        seg = self.system.segment
+        if name is not None:
+            try:
+                return seg.lookup(name).addr
+            except AllocationError:
+                pass
+        return seg.malloc(nwords, name=name, page_aligned=page_aligned)
+
+    def symbol_for(self, addr: int) -> str:
+        return self.system.segment.symbol_for(addr)
+
+    # ------------------------------------------------------------------ #
+    # Shared accesses (single word).
+    # ------------------------------------------------------------------ #
+    def load(self, addr: int, site: Optional[str] = None) -> Any:
+        node = self._node
+        if not 0 <= addr < self.config.segment_words:
+            raise SegmentationFault(self.pid, addr)
+        page, off = addr // self._psz, addr % self._psz
+        copy = self.system.protocol.ensure_readable(node, page)
+        self._clock.advance(self._cm.plain_access, CostCategory.BASE)
+        if self._detect:
+            node.shared_instr_calls += 1
+            if self._proc_call:
+                self._clock.advance(self._proc_call, CostCategory.PROC_CALL)
+            self._clock.advance(self._cm.access_check_shared,
+                                CostCategory.ACCESS_CHECK)
+            node.current.record_read(page, off)
+        self._after_access(addr, 1, False, site)
+        return copy.data[off]
+
+    def store(self, addr: int, value: Any, site: Optional[str] = None) -> None:
+        node = self._node
+        if not 0 <= addr < self.config.segment_words:
+            raise SegmentationFault(self.pid, addr)
+        page, off = addr // self._psz, addr % self._psz
+        copy = self.system.protocol.ensure_writable(node, page, off)
+        copy.data[off] = value
+        self._clock.advance(self._cm.plain_access, CostCategory.BASE)
+        if self._detect and not self._diff_writes:
+            # §6.5 diff mode dispenses with store instrumentation entirely.
+            node.shared_instr_calls += 1
+            if self._proc_call:
+                self._clock.advance(self._proc_call, CostCategory.PROC_CALL)
+            self._clock.advance(self._cm.access_check_shared,
+                                CostCategory.ACCESS_CHECK)
+            node.current.record_write(page, off)
+        self._after_access(addr, 1, True, site)
+
+    # ------------------------------------------------------------------ #
+    # Shared accesses (contiguous ranges — the vectorized fast path).
+    # ------------------------------------------------------------------ #
+    def load_range(self, addr: int, count: int,
+                   site: Optional[str] = None) -> List[Any]:
+        if count <= 0:
+            return []
+        self.system.segment.check_range(addr, count)
+        out: List[Any] = []
+        node = self._node
+        for page, off, n in self._page_chunks(addr, count):
+            copy = self.system.protocol.ensure_readable(node, page)
+            out.extend(copy.data[off:off + n])
+            if self._detect:
+                node.current.record_read(page, off, n)
+        self._charge_bulk(count, instrumented=self._detect)
+        self._after_access(addr, count, False, site)
+        return out
+
+    def store_range(self, addr: int, values: Sequence[Any],
+                    site: Optional[str] = None) -> None:
+        count = len(values)
+        if count == 0:
+            return
+        self.system.segment.check_range(addr, count)
+        node = self._node
+        taken = 0
+        for page, off, n in self._page_chunks(addr, count):
+            copy = self.system.protocol.ensure_writable(node, page, off)
+            copy.data[off:off + n] = list(values[taken:taken + n])
+            taken += n
+            if self._detect and not self._diff_writes:
+                node.current.record_write(page, off, n)
+        self._charge_bulk(count,
+                          instrumented=self._detect and not self._diff_writes)
+        self._after_access(addr, count, True, site)
+
+    def _page_chunks(self, addr: int, count: int):
+        """Split [addr, addr+count) into (page, offset, length) chunks."""
+        psz = self._psz
+        while count > 0:
+            page, off = addr // psz, addr % psz
+            n = min(count, psz - off)
+            yield page, off, n
+            addr += n
+            count -= n
+
+    def _charge_bulk(self, count: int, instrumented: bool) -> None:
+        self._clock.advance(self._cm.plain_access * count, CostCategory.BASE)
+        if instrumented:
+            self._node.shared_instr_calls += count
+            if self._proc_call:
+                self._clock.advance(self._proc_call * count,
+                                    CostCategory.PROC_CALL)
+            self._clock.advance(self._cm.access_check_shared * count,
+                                CostCategory.ACCESS_CHECK)
+
+    def _after_access(self, addr: int, count: int, is_write: bool,
+                      site: Optional[str]) -> None:
+        system = self.system
+        if system.config.track_access_trace:
+            system.access_trace.append(TraceEvent(
+                self.pid, self._node.vc[self.pid], addr, count, is_write))
+        if system.pc_watch is not None:
+            for w in range(addr, addr + count):
+                hits = system.pc_watch.get(w)
+                if hits is not None:
+                    hits.append((self.pid, self._node.vc[self.pid],
+                                 site or "<unknown site>", is_write))
+        self._accesses_since_yield += count
+        if self._accesses_since_yield >= YIELD_EVERY:
+            self._accesses_since_yield = 0
+            system.scheduler.yield_control(self.pid)
+
+    # ------------------------------------------------------------------ #
+    # Private work (instrumented-but-private accesses, pure compute).
+    # ------------------------------------------------------------------ #
+    def private_accesses(self, count: int) -> None:
+        """Model ``count`` loads/stores that static analysis could not
+        prove private, so they are instrumented — and at run time turn out
+        to reference private data.  The paper's Table 3 shows these
+        dominate the runtime calls to the analysis routines."""
+        if count <= 0:
+            return
+        self._clock.advance(self._cm.plain_access * count, CostCategory.BASE)
+        if self._detect:
+            self._node.private_instr_calls += count
+            if self._proc_call:
+                self._clock.advance(self._proc_call * count,
+                                    CostCategory.PROC_CALL)
+            self._clock.advance(self._cm.access_check_private * count,
+                                CostCategory.ACCESS_CHECK)
+
+    def compute(self, units: float) -> None:
+        """Charge pure computation (uninstrumented work)."""
+        if units > 0:
+            self._clock.advance(self._cm.compute_unit * units,
+                                CostCategory.BASE)
+
+    def pause(self, times: int = 1) -> None:
+        """Yield to the scheduler ``times`` times — models local work long
+        enough for other processes to proceed.  Purely a scheduling hint:
+        it creates *no* happens-before ordering, which is exactly what the
+        weak-memory example programs need (they must let another process
+        run first without synchronizing with it)."""
+        for _ in range(times):
+            self.system.scheduler.yield_control(self.pid)
+
+    # ------------------------------------------------------------------ #
+    # Synchronization.
+    # ------------------------------------------------------------------ #
+    def lock(self, lid: int) -> None:
+        self.system.lock_acquire(self.pid, lid)
+
+    def unlock(self, lid: int) -> None:
+        self.system.lock_release(self.pid, lid)
+
+    @contextlib.contextmanager
+    def locked(self, lid: int):
+        self.lock(lid)
+        try:
+            yield
+        finally:
+            self.unlock(lid)
+
+    def barrier(self) -> None:
+        self.system.barrier(self.pid)
+
+    def set_event(self, eid: int) -> None:
+        """Signal a one-shot event (a release: accesses before the set
+        happen-before accesses after any wait that observes it)."""
+        self.system.event_set(self.pid, eid)
+
+    def wait_event(self, eid: int) -> None:
+        """Wait for a one-shot event (the matching acquire)."""
+        self.system.event_wait(self.pid, eid)

@@ -1,0 +1,159 @@
+"""Intervals: the unit of ordering in LRC (paper §3.1).
+
+A process's execution is divided into intervals delimited by acquire and
+release operations.  Each interval carries:
+
+* its owner pid and per-process index,
+* a vector timestamp (:class:`~repro.dsm.vector_clock.VectorClock`) that
+  encodes everything the owner had seen when the interval began,
+* *write notices* — the set of pages written during the interval (base LRC
+  metadata, needed for invalidations), and
+* with detection enabled, *read notices* and per-page word bitmaps — the
+  paper's additions (§4, modifications i and ii).
+
+Bitmaps remain on the creating node; only the notice lists travel with
+synchronization messages.  The detector fetches bitmaps lazily in the extra
+barrier round (§4, step 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.bitmap import Bitmap
+from repro.dsm.vector_clock import VectorClock, concurrent
+from repro.net.message import WireSizer
+
+
+class Interval:
+    """One interval of one process."""
+
+    __slots__ = ("pid", "index", "vc", "epoch", "write_pages", "read_pages",
+                 "write_bitmaps", "read_bitmaps", "closed",
+                 "page_size_words", "sync_label")
+
+    def __init__(self, pid: int, index: int, vc: VectorClock, epoch: int,
+                 page_size_words: int, sync_label: str = ""):
+        self.pid = pid
+        self.index = index
+        self.vc = vc  # snapshot; not mutated after creation
+        self.epoch = epoch
+        self.page_size_words = page_size_words
+        #: Pages written during the interval (-> write notices).
+        self.write_pages: Set[int] = set()
+        #: Pages read during the interval (-> read notices; detection only).
+        self.read_pages: Set[int] = set()
+        self.write_bitmaps: Dict[int, Bitmap] = {}
+        self.read_bitmaps: Dict[int, Bitmap] = {}
+        self.closed = False
+        #: Human-readable description of the synchronization op that opened
+        #: the interval (for race reports).
+        self.sync_label = sync_label
+
+    # ------------------------------------------------------------------ #
+    # Access recording (called by the instrumentation runtime).
+    # ------------------------------------------------------------------ #
+    def record_write(self, page: int, offset: int, count: int = 1,
+                     bitmap: bool = True) -> None:
+        """Record ``count`` consecutive written words on ``page`` starting
+        at word ``offset``."""
+        self._check_open()
+        self.write_pages.add(page)
+        if bitmap:
+            bm = self.write_bitmaps.get(page)
+            if bm is None:
+                bm = self.write_bitmaps[page] = Bitmap(self.page_size_words)
+            if count == 1:
+                bm.set(offset)
+            else:
+                bm.set_range(offset, count)
+
+    def record_read(self, page: int, offset: int, count: int = 1,
+                    bitmap: bool = True) -> None:
+        """Record ``count`` consecutive read words on ``page``."""
+        self._check_open()
+        self.read_pages.add(page)
+        if bitmap:
+            bm = self.read_bitmaps.get(page)
+            if bm is None:
+                bm = self.read_bitmaps[page] = Bitmap(self.page_size_words)
+            if count == 1:
+                bm.set(offset)
+            else:
+                bm.set_range(offset, count)
+
+    def merge_write_bitmap(self, page: int, bm: Bitmap) -> None:
+        """OR a diff-derived write bitmap into the interval (§6.5 mode).
+
+        Unlike the instrumentation paths, this is legal on a *closed*
+        interval: the multi-writer protocol produces diffs exactly when
+        the interval closes (at the release), which is when the derived
+        write bitmap becomes known.
+        """
+        self.write_pages.add(page)
+        mine = self.write_bitmaps.get(page)
+        if mine is None:
+            self.write_bitmaps[page] = bm.copy()
+        else:
+            mine.union_update(bm)
+
+    def close(self) -> None:
+        """Freeze the interval at the release/acquire that ends it."""
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ValueError(f"interval {self!r} is closed")
+
+    # ------------------------------------------------------------------ #
+    # Ordering.
+    # ------------------------------------------------------------------ #
+    def concurrent_with(self, other: "Interval") -> bool:
+        """Constant-time happens-before-1 concurrency test (paper §4)."""
+        return concurrent(self.pid, self.index, self.vc,
+                          other.pid, other.index, other.vc)
+
+    @property
+    def is_empty(self) -> bool:
+        """No shared accesses recorded: can never participate in a race."""
+        return not self.write_pages and not self.read_pages
+
+    # ------------------------------------------------------------------ #
+    # Wire accounting.
+    # ------------------------------------------------------------------ #
+    def wire_size(self, sizer: WireSizer, with_read_notices: bool) -> int:
+        """Encoded size of the interval record in a synchronization
+        message.  Read notices are the detector's addition: with detection
+        off the read-notice list (header included) is absent entirely, so
+        the size delta equals :meth:`read_notice_wire_size` exactly."""
+        size = (sizer.ints(2) + sizer.vector_clock()
+                + sizer.notice_list(len(self.write_pages)))
+        if with_read_notices:
+            size += self.read_notice_wire_size(sizer)
+        return size
+
+    def read_notice_wire_size(self, sizer: WireSizer) -> int:
+        """Bytes attributable to the read-notice list alone (excludes the
+        one-int list header that base CVM would not send: with detection
+        off the list is absent entirely, so the whole list is overhead)."""
+        return sizer.notice_list(len(self.read_pages))
+
+    def __repr__(self) -> str:
+        return (f"Interval(P{self.pid}:{self.index}, epoch={self.epoch}, "
+                f"w={sorted(self.write_pages)}, r={sorted(self.read_pages)})")
+
+
+def intervals_unseen_by(intervals: Dict[int, Dict[int, Interval]],
+                        have: VectorClock, upto: VectorClock) -> Iterable[Interval]:
+    """Yield interval records the acquirer (with clock ``have``) is missing
+    relative to a releaser that has seen ``upto``.
+
+    ``intervals`` maps pid -> {index -> Interval}.  This is the consistency
+    information LRC piggybacks on synchronization messages (§3.1): all
+    intervals seen by the releaser but not the acquirer.
+    """
+    for pid in range(len(upto)):
+        for idx in range(have[pid] + 1, upto[pid] + 1):
+            rec = intervals.get(pid, {}).get(idx)
+            if rec is not None:
+                yield rec

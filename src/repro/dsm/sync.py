@@ -1,0 +1,111 @@
+"""Synchronization-object state: locks and barriers.
+
+These classes hold pure state (holder, queues, arrival bookkeeping); the
+message traffic, clock reconciliation and consistency-information exchange
+that happen at acquire/release/barrier live in :mod:`repro.dsm.cvm`, which
+drives them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.dsm.vector_clock import VectorClock
+
+
+@dataclass
+class GrantInfo:
+    """What a lock grant carries to the next holder: the releaser's pid,
+    the vector clock of the released interval (the consistency horizon the
+    acquirer must catch up to), and the receiver-side arrival time of the
+    grant message."""
+
+    releaser: int
+    release_vc: VectorClock
+    arrival_time: float
+
+
+class LockState:
+    """One exclusive lock.
+
+    CVM assigns each lock a static manager process; acquiring an idle lock
+    costs a request/forward/grant message exchange, and a contended acquire
+    waits in FIFO order for the holder's release.  The released interval's
+    vector clock rides on the grant (LRC's piggybacked consistency data).
+    """
+
+    def __init__(self, lid: int, manager: int):
+        self.lid = lid
+        self.manager = manager
+        self.holder: Optional[int] = None
+        self.queue: Deque[int] = deque()
+        self.last_releaser: Optional[int] = None
+        self.last_release_vc: Optional[VectorClock] = None
+        #: Grants prepared by a releaser for a blocked waiter, consumed when
+        #: the waiter is rescheduled.
+        self.grant_box: Dict[int, GrantInfo] = {}
+        #: Total acquires, for statistics.
+        self.acquires = 0
+        #: Acquires that had to queue behind a holder.
+        self.contended = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LockState(lid={self.lid}, holder={self.holder}, "
+                f"queue={list(self.queue)})")
+
+
+class EventState:
+    """A one-shot event flag: CVM-style generalized synchronization.
+
+    ``set`` is a release (the setter's consistency horizon is recorded);
+    ``wait`` is an acquire (blocks until set, then catches up to the
+    horizon).  Waiting after the set is immediate but still an acquire —
+    the ordering edge is what matters for the detector.
+    """
+
+    def __init__(self, eid: int):
+        self.eid = eid
+        self.is_set = False
+        self.setter: Optional[int] = None
+        self.set_vc: Optional[VectorClock] = None
+        self.set_time: float = 0.0
+        self.waiters: List[int] = []
+
+
+class BarrierState:
+    """The (single, reusable) global barrier.
+
+    Arrival order, per-arrival clock times and the master's release payload
+    are recorded per *generation* so the barrier can be reused any number of
+    times.  The master role is pinned to process 0, as in the paper (the
+    barrier master runs the race-detection analysis); whichever process
+    arrives last executes the master's work on process 0's virtual clock.
+    """
+
+    def __init__(self, nprocs: int, master: int = 0):
+        self.nprocs = nprocs
+        self.master = master
+        self.generation = 0
+        self.arrived: List[int] = []
+        self.arrival_times: Dict[int, float] = {}
+        #: Release-time info stored for each departing process:
+        #: (global vc snapshot, receiver-side arrival time of release msg).
+        self.release_box: Dict[int, Tuple[VectorClock, float]] = {}
+        self.barriers_completed = 0
+
+    def arrive(self, pid: int, now: float) -> bool:
+        """Record an arrival; True if this was the last process in."""
+        if pid in self.arrived:
+            raise ValueError(f"P{pid} arrived twice at barrier generation "
+                             f"{self.generation}")
+        self.arrived.append(pid)
+        self.arrival_times[pid] = now
+        return len(self.arrived) == self.nprocs
+
+    def reset_for_next_generation(self) -> None:
+        self.generation += 1
+        self.barriers_completed += 1
+        self.arrived.clear()
+        self.arrival_times.clear()

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the simulator, the DSM substrate, the instrumentation
+toolchain and the race detector derive from :class:`ReproError` so that
+callers can catch everything from this package with a single clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The deterministic execution engine reached an illegal state."""
+
+
+class DeadlockError(SimulationError):
+    """Every live simulated process is blocked and no message is in flight."""
+
+    def __init__(self, blocked: dict):
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"P{pid}: {why}" for pid, why in sorted(blocked.items()))
+        super().__init__(f"deadlock: all live processes blocked ({detail})")
+
+
+class ProcessFailure(SimulationError):
+    """A simulated process raised an uncaught exception.
+
+    The original exception is preserved as ``__cause__`` and in
+    :attr:`original`.
+    """
+
+    def __init__(self, pid: int, original: BaseException):
+        self.pid = pid
+        self.original = original
+        super().__init__(f"process P{pid} failed: {original!r}")
+
+
+class NetworkError(ReproError):
+    """Illegal use of the simulated transport."""
+
+
+class MessageTooLargeError(NetworkError):
+    """A message exceeded the transport's maximum datagram size.
+
+    The paper (§5.3) notes that read notices pushed CVM messages up against
+    system maximums; we model the same limit explicitly.
+    """
+
+    def __init__(self, size: int, limit: int, tag: str):
+        self.size = size
+        self.limit = limit
+        self.tag = tag
+        super().__init__(
+            f"message {tag!r} of {size} bytes exceeds transport limit of {limit} bytes"
+        )
+
+
+class DsmError(ReproError):
+    """Illegal use of the DSM substrate (bad address, protocol violation...)."""
+
+
+class SegmentationFault(DsmError):
+    """An application accessed an address outside any allocated block."""
+
+    def __init__(self, pid: int, addr: int, why: str = "unmapped address"):
+        self.pid = pid
+        self.addr = addr
+        super().__init__(f"P{pid}: segmentation fault at word address {addr} ({why})")
+
+
+class SynchronizationError(DsmError):
+    """Misuse of locks or barriers (e.g. releasing a lock not held)."""
+
+
+class AllocationError(DsmError):
+    """The shared segment has no room for a requested allocation."""
+
+
+class InstrumentationError(ReproError):
+    """The mini-ISA toolchain rejected its input."""
+
+
+class CompileError(InstrumentationError):
+    """The kernel DSL compiler rejected a source program."""
+
+
+class LinkError(InstrumentationError):
+    """The linker could not resolve an object file or symbol."""
+
+
+class DetectorError(ReproError):
+    """The race detector reached an inconsistent state."""
+
+
+class ReplayError(ReproError):
+    """Replay diverged from the recorded synchronization order."""

@@ -1,0 +1,20 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One module per artifact:
+
+* :mod:`repro.harness.table1` — application characteristics & slowdown,
+* :mod:`repro.harness.table2` — static instrumentation statistics,
+* :mod:`repro.harness.table3` — dynamic metrics,
+* :mod:`repro.harness.figure3` — overhead breakdown,
+* :mod:`repro.harness.figure4` — slowdown vs. processor count,
+
+plus :mod:`repro.harness.experiments`, which runs them all off a shared
+:class:`~repro.harness.context.ExperimentContext` (paired detection-off /
+detection-on runs are executed once and reused across artifacts) and can
+render an EXPERIMENTS.md-style report with paper-vs-measured values.
+"""
+
+from repro.harness.context import ExperimentContext
+from repro.harness.experiments import run_all_experiments
+
+__all__ = ["ExperimentContext", "run_all_experiments"]

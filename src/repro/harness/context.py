@@ -1,0 +1,37 @@
+"""Shared, memoized application runs for the harness.
+
+Table 1, Table 3, Figure 3 and Figure 4 all consume the same paired runs
+(detection off/on, various processor counts); the context executes each
+pair at most once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.apps.base import AppResult, measure
+from repro.apps.registry import APPLICATIONS
+
+#: Processor counts used by Figure 4 (and the default count elsewhere).
+PROC_SWEEP = (2, 4, 8)
+DEFAULT_PROCS = 8
+
+
+class ExperimentContext:
+    """Lazily runs and caches (app, nprocs) measurement pairs."""
+
+    def __init__(self, apps: Iterable[str] = tuple(APPLICATIONS)):
+        self.app_names = tuple(apps)
+        self._cache: Dict[Tuple[str, int], AppResult] = {}
+
+    def result(self, app: str, nprocs: int = DEFAULT_PROCS) -> AppResult:
+        key = (app, nprocs)
+        if key not in self._cache:
+            self._cache[key] = measure(APPLICATIONS[app], nprocs=nprocs)
+        return self._cache[key]
+
+    def warm(self, nprocs_list: Iterable[int] = (DEFAULT_PROCS,)) -> None:
+        """Run everything up front (e.g. before timing-sensitive output)."""
+        for app in self.app_names:
+            for nprocs in nprocs_list:
+                self.result(app, nprocs)

@@ -1,0 +1,87 @@
+"""Figure 3 — Overhead Breakdown.
+
+Per application, the race-detection overhead relative to the unaltered
+binary's running time, split into the paper's five categories: CVM Mods,
+Proc Call, Access Check, Intervals, Bitmaps.  The reproducible claims:
+instrumentation (Proc Call + Access Check) accounts for roughly two thirds
+of total overhead on average; the comparison algorithm ("Intervals") and
+bitmap work are at most the 3rd/4th largest components; TSP has the largest
+access-check overhead (its high analysis-call rate) and Water the largest
+interval-comparison overhead (its fine-grained synchronization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.harness.context import DEFAULT_PROCS, ExperimentContext
+from repro.harness.format import render_table
+from repro.sim.costmodel import OVERHEAD_CATEGORIES
+
+
+@dataclass
+class Figure3Row:
+    app: str
+    #: category value -> overhead as a fraction of base runtime.
+    fractions: Dict[str, float]
+
+    @property
+    def total_overhead(self) -> float:
+        return sum(self.fractions.values())
+
+    @property
+    def instrumentation_share(self) -> float:
+        """(Proc Call + Access Check) / total overhead."""
+        total = self.total_overhead
+        if total <= 0:
+            return 0.0
+        return (self.fractions["proc_call"]
+                + self.fractions["access_check"]) / total
+
+    def category_rank(self, category: str) -> int:
+        """1-based rank of a category among the five (1 = largest)."""
+        ordered = sorted(self.fractions.values(), reverse=True)
+        return 1 + ordered.index(self.fractions[category])
+
+
+def compute_figure3(ctx: ExperimentContext,
+                    nprocs: int = DEFAULT_PROCS) -> List[Figure3Row]:
+    rows: List[Figure3Row] = []
+    for app in ctx.app_names:
+        res = ctx.result(app, nprocs).detected
+        rows.append(Figure3Row(app=app, fractions=res.overhead_breakdown()))
+    return rows
+
+
+def render_figure3(rows: List[Figure3Row]) -> str:
+    headers = ["App"] + [c.value for c in OVERHEAD_CATEGORIES] + \
+        ["Total", "Instr share"]
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [r.app.upper()]
+            + [f"{100 * r.fractions[c.value]:.1f}%"
+               for c in OVERHEAD_CATEGORIES]
+            + [f"{100 * r.total_overhead:.0f}%",
+               f"{100 * r.instrumentation_share:.0f}%"])
+    text = render_table(
+        "Figure 3. Overhead Breakdown (% of unaltered runtime)",
+        headers, table_rows)
+    return text + "\n" + _ascii_bars(rows)
+
+
+def _ascii_bars(rows: List[Figure3Row], width: int = 50) -> str:
+    """Stacked ASCII bars, one per app, mirroring the paper's figure."""
+    glyphs = {"cvm_mods": "M", "proc_call": "P", "access_check": "A",
+              "intervals": "I", "bitmaps": "B"}
+    peak = max((r.total_overhead for r in rows), default=1.0) or 1.0
+    lines = ["", "  (M=CVM Mods  P=Proc Call  A=Access Check  "
+                 "I=Intervals  B=Bitmaps)"]
+    for r in rows:
+        bar = ""
+        for cat in OVERHEAD_CATEGORIES:
+            n = round(r.fractions[cat.value] / peak * width)
+            bar += glyphs[cat.value] * n
+        lines.append(f"  {r.app.upper():6s} |{bar}")
+    return "\n".join(lines)

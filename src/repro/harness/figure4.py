@@ -1,0 +1,51 @@
+"""Figure 4 — Slowdown versus number of processors.
+
+The paper's (initially surprising) observation: slowdown *decreases* as
+processors are added, because (i) interval/bitmap comparison is serialized
+at the master, so its observable cost stays constant while the rest of the
+system scales, and (ii) instrumentation overhead runs in parallel with the
+shared accesses, so per-process overhead shrinks with per-process work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.context import PROC_SWEEP, ExperimentContext
+from repro.harness.format import render_table
+
+
+@dataclass
+class Figure4Row:
+    app: str
+    #: nprocs -> slowdown.
+    slowdowns: Dict[int, float]
+
+    def decreasing_overall(self) -> bool:
+        """The paper's qualitative claim: the largest configuration is no
+        slower (relatively) than the smallest."""
+        procs = sorted(self.slowdowns)
+        return self.slowdowns[procs[-1]] <= self.slowdowns[procs[0]]
+
+
+def compute_figure4(ctx: ExperimentContext,
+                    proc_counts: Sequence[int] = PROC_SWEEP
+                    ) -> List[Figure4Row]:
+    rows: List[Figure4Row] = []
+    for app in ctx.app_names:
+        slowdowns = {np_: ctx.result(app, np_).slowdown
+                     for np_ in proc_counts}
+        rows.append(Figure4Row(app=app, slowdowns=slowdowns))
+    return rows
+
+
+def render_figure4(rows: List[Figure4Row]) -> str:
+    if not rows:
+        return "Figure 4. (no data)"
+    proc_counts = sorted(rows[0].slowdowns)
+    return render_table(
+        "Figure 4. Slowdown Factor versus Number of Processors",
+        ["App"] + [f"{np_} procs" for np_ in proc_counts] + ["Decreasing?"],
+        [[r.app.upper()] + [r.slowdowns[np_] for np_ in proc_counts]
+         + ["yes" if r.decreasing_overall() else "NO"] for r in rows])

@@ -1,0 +1,62 @@
+"""The paper's published numbers, for paper-vs-measured comparisons.
+
+Transcribed from Perković & Keleher, OSDI 1996 (Tables 1–3; Figure 3 and
+Figure 4 values are approximate bar readings where exact numbers are not
+printed in the text).
+"""
+
+from __future__ import annotations
+
+#: Table 1 — Application Characteristics.
+PAPER_TABLE1 = {
+    "fft": {"input": "64 x 64 x 16", "sync": "barrier",
+            "memory_kbytes": 3088, "intervals_per_barrier": 2,
+            "slowdown_8proc": 2.08},
+    "sor": {"input": "512x512", "sync": "barrier",
+            "memory_kbytes": 8208, "intervals_per_barrier": 2,
+            "slowdown_8proc": 1.83},
+    "tsp": {"input": "19 cities", "sync": "lock",
+            "memory_kbytes": 792, "intervals_per_barrier": 177,
+            "slowdown_8proc": 2.51},
+    "water": {"input": "216 mols, 5 iters", "sync": "lock, barrier",
+              "memory_kbytes": 152, "intervals_per_barrier": 46,
+              "slowdown_8proc": 2.31},
+}
+
+#: Table 2 — Instrumentation Statistics (load/store counts).
+PAPER_TABLE2 = {
+    "fft": {"stack": 1285, "static": 1496, "library": 124716,
+            "cvm": 3910, "instrumented": 261},
+    "sor": {"stack": 342, "static": 1304, "library": 48717,
+            "cvm": 3910, "instrumented": 126},
+    "tsp": {"stack": 244, "static": 1213, "library": 48717,
+            "cvm": 3910, "instrumented": 350},
+    "water": {"stack": 649, "static": 1919, "library": 124716,
+              "cvm": 3910, "instrumented": 528},
+}
+
+#: Table 3 — Dynamic Metrics.
+PAPER_TABLE3 = {
+    "fft": {"intervals_used": 0.15, "bitmaps_used": 0.01,
+            "msg_overhead": 0.004, "shared_per_sec": 311079,
+            "private_per_sec": 924226},
+    "sor": {"intervals_used": 0.00, "bitmaps_used": 0.00,
+            "msg_overhead": 0.016, "shared_per_sec": 483310,
+            "private_per_sec": 251200},
+    "tsp": {"intervals_used": 0.93, "bitmaps_used": 0.13,
+            "msg_overhead": 0.013, "shared_per_sec": 737159,
+            "private_per_sec": 2195510},
+    "water": {"intervals_used": 0.13, "bitmaps_used": 0.11,
+              "msg_overhead": 0.483, "shared_per_sec": 145095,
+              "private_per_sec": 982965},
+}
+
+#: §5.1: instrumentation (proc call + access check) as a share of total
+#: race-detection overhead, averaged over the applications.
+PAPER_INSTRUMENTATION_SHARE = 0.68
+
+#: Average slowdown over the four applications (Table 1 / §5).
+PAPER_AVG_SLOWDOWN = 2.2
+
+#: Figure 4's qualitative claim.
+PAPER_FIG4_CLAIM = "slowdown decreases as the number of processors grows"

@@ -1,0 +1,44 @@
+"""ATOM-analogue instrumentation toolchain.
+
+The paper uses the ATOM binary rewriter to instrument every Alpha load and
+store that *might* reference shared memory, after statically discarding the
+ones that provably cannot (§5.1): accesses through the frame pointer
+(stack), accesses through the global pointer (statically-allocated data —
+safe because CVM allocates all shared memory dynamically), and instructions
+in library or CVM code.
+
+We have no Alpha binaries, so we rebuild the whole pipeline one level down:
+
+* :mod:`repro.instrument.isa` — a small RISC instruction set with
+  Alpha-style dedicated registers (``fp``, ``gp``, ``sp``);
+* :mod:`repro.instrument.kernel_ast` / :mod:`repro.instrument.parser` /
+  :mod:`repro.instrument.compiler` — a miniature C-like kernel language
+  (AST, text parser, compiler) that emits mini-ISA code with the
+  addressing-mode discipline the static filter relies on;
+* :mod:`repro.instrument.linker` — links compiled application objects with
+  synthetic libc/libm/CVM objects into a :class:`BinaryImage`;
+* :mod:`repro.instrument.atom` — the rewriter: classifies every load and
+  store (Table 2's categories) and inserts analysis-routine calls before
+  the survivors;
+* :mod:`repro.instrument.machine` — an interpreter that executes
+  (instrumented) binaries, so the inserted calls demonstrably fire at run
+  time.
+"""
+
+from repro.instrument.atom import AtomRewriter, InstrumentationReport
+from repro.instrument.compiler import compile_kernel
+from repro.instrument.isa import BinaryImage, Instruction, Section
+from repro.instrument.linker import link
+from repro.instrument.parser import compile_source, parse_kernel
+
+__all__ = [
+    "AtomRewriter",
+    "BinaryImage",
+    "Instruction",
+    "InstrumentationReport",
+    "Section",
+    "compile_kernel",
+    "compile_source",
+    "link",
+    "parse_kernel",
+]

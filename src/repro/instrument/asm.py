@@ -1,0 +1,147 @@
+"""Assembler / disassembler for the mini ISA.
+
+A human-readable text format for compiled and synthetic code, round-
+trippable through :func:`assemble` / :func:`disassemble`.  Used by the
+toolchain tests, by the CLI's ``disasm`` command, and whenever a kernel's
+generated code needs eyeballing (e.g. verifying which loads the static
+filter will instrument).
+
+Format::
+
+    .func main section=app frame=3
+        st a0, 0(fp)
+        li t0, 5
+        add t1, t0, t0
+        beqz t1, main.else1
+        call __race_analysis
+    main.else1:
+        ret
+    .endfunc
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import InstrumentationError
+from repro.instrument.isa import (ALU_OPS, BinaryImage, Function,
+                                  Instruction, ObjectFile, Op, Section)
+
+_SECTION_BY_NAME = {s.value: s for s in Section}
+
+_MEM_RE = re.compile(
+    r"^(ld|st)\s+([a-z]\w*)\s*,\s*(-?\d+)\(([a-z]\w*)\)$")
+_LI_RE = re.compile(r"^li\s+([a-z]\w*)\s*,\s*(-?\d+)$")
+_MOV_RE = re.compile(r"^mov\s+([a-z]\w*)\s*,\s*([a-z]\w*)$")
+_ALU_RE = re.compile(
+    r"^(add|sub|mul|div|and|or|xor|slt|seq)\s+([a-z]\w*)\s*,\s*"
+    r"([a-z]\w*)\s*,\s*([a-z]\w*)$")
+_BRANCH_RE = re.compile(r"^(beqz|bnez)\s+([a-z]\w*)\s*,\s*(\S+)$")
+_J_RE = re.compile(r"^j\s+(\S+)$")
+_CALL_RE = re.compile(r"^call\s+(\S+)$")
+_LABEL_RE = re.compile(r"^(\S+):$")
+_FUNC_RE = re.compile(
+    r"^\.func\s+(\S+)\s+section=(\w+)(?:\s+frame=(\d+))?$")
+
+
+def disassemble_instruction(ins: Instruction) -> str:
+    """One instruction in assembler syntax (labels as ``name:``)."""
+    if ins.op is Op.LABEL:
+        return f"{ins.target}:"
+    return ins.render()
+
+
+def disassemble_function(fn: Function) -> str:
+    lines = [f".func {fn.name} section={fn.section.value} "
+             f"frame={fn.frame_words}"]
+    for ins in fn.instructions:
+        text = disassemble_instruction(ins)
+        indent = "" if ins.op is Op.LABEL else "    "
+        lines.append(indent + text)
+    lines.append(".endfunc")
+    return "\n".join(lines)
+
+
+def disassemble(image_or_obj) -> str:
+    """Disassemble a BinaryImage or ObjectFile to text."""
+    if isinstance(image_or_obj, BinaryImage):
+        functions: Iterable[Function] = (
+            image_or_obj.functions[n] for n in sorted(image_or_obj.functions))
+    else:
+        functions = image_or_obj.functions
+    return "\n\n".join(disassemble_function(fn) for fn in functions)
+
+
+def assemble_line(line: str) -> Instruction:
+    """Parse one (stripped, non-directive) assembler line."""
+    m = _MEM_RE.match(line)
+    if m:
+        op, reg, offset, base = m.groups()
+        return Instruction(Op.LD if op == "ld" else Op.ST, reg=reg,
+                           base=base, offset=int(offset))
+    m = _LI_RE.match(line)
+    if m:
+        return Instruction(Op.LI, reg=m.group(1), imm=int(m.group(2)))
+    m = _MOV_RE.match(line)
+    if m:
+        return Instruction(Op.MOV, reg=m.group(1), srcs=(m.group(2),))
+    m = _ALU_RE.match(line)
+    if m:
+        op, dst, a, b = m.groups()
+        return Instruction(Op(op), reg=dst, srcs=(a, b))
+    m = _BRANCH_RE.match(line)
+    if m:
+        op, src, target = m.groups()
+        return Instruction(Op(op), srcs=(src,), target=target)
+    m = _J_RE.match(line)
+    if m:
+        return Instruction(Op.J, target=m.group(1))
+    m = _CALL_RE.match(line)
+    if m:
+        return Instruction(Op.CALL, target=m.group(1))
+    m = _LABEL_RE.match(line)
+    if m:
+        return Instruction(Op.LABEL, target=m.group(1))
+    if line == "ret":
+        return Instruction(Op.RET)
+    if line == "nop":
+        return Instruction(Op.NOP)
+    raise InstrumentationError(f"cannot assemble line: {line!r}")
+
+
+def assemble(text: str, name: str = "assembled") -> ObjectFile:
+    """Assemble a full listing (one or more ``.func`` blocks)."""
+    obj = ObjectFile(name)
+    current: Optional[Dict] = None
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            if current is not None:
+                raise InstrumentationError("nested .func")
+            fname, section, frame = m.groups()
+            if section not in _SECTION_BY_NAME:
+                raise InstrumentationError(f"unknown section {section!r}")
+            current = {"name": fname,
+                       "section": _SECTION_BY_NAME[section],
+                       "frame": int(frame or 0),
+                       "code": []}
+            continue
+        if line == ".endfunc":
+            if current is None:
+                raise InstrumentationError(".endfunc without .func")
+            obj.add(Function(current["name"], current["code"],
+                             current["section"],
+                             frame_words=current["frame"]))
+            current = None
+            continue
+        if current is None:
+            raise InstrumentationError(
+                f"instruction outside .func: {line!r}")
+        current["code"].append(assemble_line(line))
+    if current is not None:
+        raise InstrumentationError(f"unterminated .func {current['name']!r}")
+    return obj

@@ -1,0 +1,309 @@
+"""Compiler from the kernel language to the mini ISA.
+
+Deliberately naive single-pass code generation (no CSE, no register
+caching of memory values): every variable reference becomes a load and
+every assignment a store, with the addressing mode determined by the
+storage class.  That is faithful to what matters here — the *classifiable
+addressing discipline* of the emitted loads and stores — and mirrors the
+unoptimized RISC code ATOM actually saw.
+
+Addressing-mode rules (what the static filter later keys on):
+
+* scalar locals, params, const-indexed stack arrays → ``off(fp)``
+* static globals → ``off(gp)``
+* pointer dereferences → compute address into a temp, ``0(t)``
+* variable-indexed stack arrays → the address is computed (``fp`` + index)
+  into a temp register, so the frame-pointer provenance is lost to a
+  basic-block-local analysis; the access is conservatively treated as
+  potentially shared, exactly the paper's false-instrumentation source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.instrument import kernel_ast as K
+from repro.instrument.isa import (ARG_REGS, FP, GP, RV, TEMP_REGS, Function,
+                                  Instruction, ObjectFile, Op, Section)
+
+_BINOPS = {
+    "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV,
+    "&": Op.AND, "|": Op.OR, "^": Op.XOR, "<": Op.SLT, "==": Op.SEQ,
+}
+
+
+class _RegPool:
+    """Temporary-register allocator (expression stack discipline)."""
+
+    def __init__(self) -> None:
+        self._free = list(reversed(TEMP_REGS))
+
+    def take(self) -> str:
+        if not self._free:
+            raise CompileError(
+                "expression too deep: out of temporary registers")
+        return self._free.pop()
+
+    def give(self, reg: str) -> None:
+        if reg in TEMP_REGS:
+            self._free.append(reg)
+
+
+class _FunctionCompiler:
+    def __init__(self, program: K.KernelProgram, fn: K.KernelFunction,
+                 static_offsets: Dict[str, int]):
+        self.program = program
+        self.fn = fn
+        self.static_offsets = static_offsets
+        self.code: List[Instruction] = []
+        self.regs = _RegPool()
+        self._label_counter = 0
+        # Frame layout: params first, then scalars, then arrays.
+        self.frame: Dict[str, int] = {}
+        self.array_base: Dict[str, int] = {}
+        slot = 0
+        for p in fn.params:
+            self.frame[p] = slot
+            slot += 1
+        for name in fn.locals_:
+            if name in self.frame:
+                raise CompileError(f"{fn.name}: duplicate local {name!r}")
+            self.frame[name] = slot
+            slot += 1
+        for name, size in fn.arrays:
+            if name in self.frame or name in self.array_base:
+                raise CompileError(f"{fn.name}: duplicate array {name!r}")
+            if size <= 0:
+                raise CompileError(f"{fn.name}: array {name!r} size must be > 0")
+            self.array_base[name] = slot
+            slot += size
+        self.frame_words = slot
+
+    # ------------------------------------------------------------------ #
+    def compile(self) -> Function:
+        # Prologue: spill incoming arguments to their frame slots.
+        for i, p in enumerate(self.fn.params):
+            if i >= len(ARG_REGS):
+                raise CompileError(f"{self.fn.name}: too many parameters")
+            self.emit(Op.ST, reg=ARG_REGS[i], base=FP,
+                      offset=self.frame[p], origin=f"{self.fn.name}:prologue")
+        for stmt in self.fn.body:
+            self.stmt(stmt)
+        if not self.code or self.code[-1].op is not Op.RET:
+            self.emit(Op.RET)
+        return Function(self.fn.name, self.code, Section.APP,
+                        frame_words=self.frame_words)
+
+    def emit(self, op: Op, **kw) -> Instruction:
+        ins = Instruction(op, **kw)
+        self.code.append(ins)
+        return ins
+
+    def new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{self.fn.name}.{hint}{self._label_counter}"
+
+    # ------------------------------------------------------------------ #
+    # Expressions: return the register holding the value.
+    # ------------------------------------------------------------------ #
+    def expr(self, e: K.Expr, origin: str = "") -> str:
+        if isinstance(e, K.Const):
+            r = self.regs.take()
+            self.emit(Op.LI, reg=r, imm=e.value, origin=origin)
+            return r
+        if isinstance(e, (K.Local, K.Param)):
+            slot = self.frame.get(e.name)
+            if slot is None:
+                raise CompileError(f"{self.fn.name}: unknown local {e.name!r}")
+            r = self.regs.take()
+            self.emit(Op.LD, reg=r, base=FP, offset=slot, origin=origin)
+            return r
+        if isinstance(e, K.Static):
+            off = self.static_offsets.get(e.name)
+            if off is None:
+                raise CompileError(
+                    f"{self.fn.name}: unknown static {e.name!r}")
+            r = self.regs.take()
+            self.emit(Op.LD, reg=r, base=GP, offset=off, origin=origin)
+            return r
+        if isinstance(e, K.LocalArr):
+            return self._local_arr_load(e, origin)
+        if isinstance(e, K.Deref):
+            addr = self._address_of_deref(e, origin)
+            self.emit(Op.LD, reg=addr, base=addr, offset=0, origin=origin)
+            return addr
+        if isinstance(e, K.Bin):
+            op = _BINOPS.get(e.op)
+            if op is None:
+                raise CompileError(f"unknown operator {e.op!r}")
+            left = self.expr(e.left, origin)
+            right = self.expr(e.right, origin)
+            self.emit(op, reg=left, srcs=(left, right), origin=origin)
+            self.regs.give(right)
+            return left
+        if isinstance(e, K.CallExpr):
+            self._emit_call(e, origin)
+            r = self.regs.take()
+            self.emit(Op.MOV, reg=r, srcs=(RV,), origin=origin)
+            return r
+        raise CompileError(f"cannot compile expression {e!r}")
+
+    def _local_arr_load(self, e: K.LocalArr, origin: str) -> str:
+        base = self.array_base.get(e.name)
+        if base is None:
+            raise CompileError(f"{self.fn.name}: unknown array {e.name!r}")
+        if isinstance(e.index, K.Const):
+            # Constant index: stays fp-relative, provably stack.
+            r = self.regs.take()
+            self.emit(Op.LD, reg=r, base=FP, offset=base + e.index.value,
+                      origin=origin)
+            return r
+        # Computed index: address leaves fp-relative form; the filter will
+        # conservatively instrument this (it is in fact private).
+        idx = self.expr(e.index, origin)
+        tmp = self.regs.take()
+        self.emit(Op.LI, reg=tmp, imm=base, origin=origin)
+        self.emit(Op.ADD, reg=idx, srcs=(idx, tmp), origin=origin)
+        self.emit(Op.ADD, reg=idx, srcs=(idx, FP), origin=origin)
+        self.regs.give(tmp)
+        self.emit(Op.LD, reg=idx, base=idx, offset=0, origin=origin)
+        return idx
+
+    def _address_of_deref(self, e: K.Deref, origin: str) -> str:
+        ptr = self.expr(e.ptr, origin)
+        idx = self.expr(e.index, origin)
+        self.emit(Op.ADD, reg=ptr, srcs=(ptr, idx), origin=origin)
+        self.regs.give(idx)
+        return ptr
+
+    def _emit_call(self, e: K.CallExpr, origin: str) -> None:
+        if len(e.args) > len(ARG_REGS):
+            raise CompileError(f"call {e.name!r}: too many arguments")
+        arg_regs: List[str] = []
+        for a in e.args:
+            arg_regs.append(self.expr(a, origin))
+        for i, r in enumerate(arg_regs):
+            self.emit(Op.MOV, reg=ARG_REGS[i], srcs=(r,), origin=origin)
+            self.regs.give(r)
+        self.emit(Op.CALL, target=e.name, origin=origin)
+
+    # ------------------------------------------------------------------ #
+    # Statements.
+    # ------------------------------------------------------------------ #
+    def stmt(self, s: K.Stmt) -> None:
+        origin = f"{self.fn.name}:{type(s).__name__}"
+        if isinstance(s, K.Assign):
+            self._assign(s, origin)
+        elif isinstance(s, K.For):
+            self._for(s, origin)
+        elif isinstance(s, K.While):
+            self._while(s, origin)
+        elif isinstance(s, K.If):
+            self._if(s, origin)
+        elif isinstance(s, K.Return):
+            if s.value is not None:
+                r = self.expr(s.value, origin)
+                self.emit(Op.MOV, reg=RV, srcs=(r,), origin=origin)
+                self.regs.give(r)
+            self.emit(Op.RET, origin=origin)
+        elif isinstance(s, K.ExprStmt):
+            if isinstance(s.expr, K.CallExpr):
+                self._emit_call(s.expr, origin)
+            else:
+                r = self.expr(s.expr, origin)
+                self.regs.give(r)
+        else:
+            raise CompileError(f"cannot compile statement {s!r}")
+
+    def _assign(self, s: K.Assign, origin: str) -> None:
+        value = self.expr(s.value, origin)
+        t = s.target
+        if isinstance(t, (K.Local, K.Param)):
+            slot = self.frame.get(t.name)
+            if slot is None:
+                raise CompileError(f"{self.fn.name}: unknown local {t.name!r}")
+            self.emit(Op.ST, reg=value, base=FP, offset=slot, origin=origin)
+        elif isinstance(t, K.Static):
+            off = self.static_offsets.get(t.name)
+            if off is None:
+                raise CompileError(f"{self.fn.name}: unknown static {t.name!r}")
+            self.emit(Op.ST, reg=value, base=GP, offset=off, origin=origin)
+        elif isinstance(t, K.LocalArr):
+            base = self.array_base.get(t.name)
+            if base is None:
+                raise CompileError(f"{self.fn.name}: unknown array {t.name!r}")
+            if isinstance(t.index, K.Const):
+                self.emit(Op.ST, reg=value, base=FP,
+                          offset=base + t.index.value, origin=origin)
+            else:
+                idx = self.expr(t.index, origin)
+                tmp = self.regs.take()
+                self.emit(Op.LI, reg=tmp, imm=base, origin=origin)
+                self.emit(Op.ADD, reg=idx, srcs=(idx, tmp), origin=origin)
+                self.emit(Op.ADD, reg=idx, srcs=(idx, FP), origin=origin)
+                self.regs.give(tmp)
+                self.emit(Op.ST, reg=value, base=idx, offset=0, origin=origin)
+                self.regs.give(idx)
+        elif isinstance(t, K.Deref):
+            addr = self._address_of_deref(t, origin)
+            self.emit(Op.ST, reg=value, base=addr, offset=0, origin=origin)
+            self.regs.give(addr)
+        else:
+            raise CompileError(f"cannot assign to {t!r}")
+        self.regs.give(value)
+
+    def _for(self, s: K.For, origin: str) -> None:
+        # var = start
+        self._assign(K.Assign(s.var, s.start), origin)
+        head = self.new_label("for_head")
+        done = self.new_label("for_done")
+        self.emit(Op.LABEL, target=head)
+        cond = self.expr(K.Bin("<", s.var, s.end), origin)
+        self.emit(Op.BEQZ, srcs=(cond,), target=done, origin=origin)
+        self.regs.give(cond)
+        for sub in s.body:
+            self.stmt(sub)
+        self._assign(K.Assign(s.var, K.Bin("+", s.var, K.Const(s.step))),
+                     origin)
+        self.emit(Op.J, target=head, origin=origin)
+        self.emit(Op.LABEL, target=done)
+
+    def _while(self, s: K.While, origin: str) -> None:
+        head = self.new_label("while_head")
+        done = self.new_label("while_done")
+        self.emit(Op.LABEL, target=head)
+        cond = self.expr(s.cond, origin)
+        self.emit(Op.BEQZ, srcs=(cond,), target=done, origin=origin)
+        self.regs.give(cond)
+        for sub in s.body:
+            self.stmt(sub)
+        self.emit(Op.J, target=head, origin=origin)
+        self.emit(Op.LABEL, target=done)
+
+    def _if(self, s: K.If, origin: str) -> None:
+        els = self.new_label("else")
+        done = self.new_label("endif")
+        cond = self.expr(s.cond, origin)
+        self.emit(Op.BEQZ, srcs=(cond,), target=els, origin=origin)
+        self.regs.give(cond)
+        for sub in s.then:
+            self.stmt(sub)
+        self.emit(Op.J, target=done, origin=origin)
+        self.emit(Op.LABEL, target=els)
+        for sub in s.orelse:
+            self.stmt(sub)
+        self.emit(Op.LABEL, target=done)
+
+
+def compile_kernel(program: K.KernelProgram) -> ObjectFile:
+    """Compile a kernel program into an object file (APP section)."""
+    static_offsets = {name: i for i, name in enumerate(program.statics)}
+    obj = ObjectFile(program.name)
+    seen = set()
+    for fn in program.functions:
+        if fn.name in seen:
+            raise CompileError(f"duplicate function {fn.name!r}")
+        seen.add(fn.name)
+        obj.add(_FunctionCompiler(program, fn, static_offsets).compile())
+    return obj

@@ -1,0 +1,207 @@
+"""Enhanced static filter: basic-block register-provenance tracking.
+
+The paper's filter keys on addressing modes alone, so any stack or static
+access whose address was *computed* into a general register gets
+conservatively instrumented; §5.1 measures the consequence (most run-time
+analysis calls are for private data) and §6.5 promises that better
+reference tracking "would allow us to eliminate many of these 'false'
+instrumentations".
+
+This module implements that promised analysis at basic-block scope: a
+forward dataflow over each block tracking, per register, where its value
+came from —
+
+* ``STACK``   — derived from the frame pointer (fp/sp plus constants),
+* ``STATIC``  — derived from the global pointer,
+* ``HEAP``    — the result of ``malloc`` (provably dynamic, hence
+  *potentially shared*: still instrumented, but now knowingly),
+* ``CONST``   — an immediate,
+* ``UNKNOWN`` — anything else (loaded from memory, call results,
+  mixed arithmetic).
+
+A load/store through a ``STACK``- or ``STATIC``-classed register is then
+statically private even though its addressing mode is not fp/gp-relative.
+Provenance dies at block boundaries (labels, branch targets) and calls
+clobber the temporaries — the same conservatism the paper describes for
+its own block-local tracking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.instrument.atom import AccessClass, InstrumentationReport, classify
+from repro.instrument.isa import (ARG_REGS, FP, GP, RV, SP, STACK_BASES,
+                                  STATIC_BASES, BinaryImage, Function,
+                                  Instruction, Op, Section)
+
+
+class Provenance(enum.Enum):
+    STACK = "stack"
+    STATIC = "static"
+    HEAP = "heap"
+    CONST = "const"
+    UNKNOWN = "unknown"
+
+
+def _combine(a: Provenance, b: Provenance) -> Provenance:
+    """Provenance of ``a op b`` for address arithmetic.
+
+    Pointer + constant keeps the pointer's provenance.  Pointer +
+    UNKNOWN keeps it too, under the frame/segment-bounded-indexing
+    assumption every practical binary analyzer makes: an index added to
+    a frame-pointer- or global-pointer-derived base stays within stack or
+    static storage (well-formed code does not reach shared memory by
+    offsetting the frame pointer).  Mixing two pointers degrades to
+    UNKNOWN, which the filter instruments — the sound direction for race
+    detection.
+    """
+    if a is Provenance.CONST:
+        return b
+    if b is Provenance.CONST:
+        return a
+    pointers = {Provenance.STACK, Provenance.STATIC, Provenance.HEAP}
+    if a in pointers and b in pointers:
+        return Provenance.UNKNOWN
+    if a in pointers:
+        return a  # pointer + unknown index
+    if b in pointers:
+        return b
+    return Provenance.UNKNOWN
+
+
+def split_basic_blocks(fn: Function) -> List[Tuple[int, int]]:
+    """[start, end) instruction index ranges of the function's blocks.
+
+    A block starts at function entry and at every label; it ends after a
+    branch/jump/return or before the next label.
+    """
+    starts = {0}
+    for i, ins in enumerate(fn.instructions):
+        if ins.op is Op.LABEL:
+            starts.add(i)
+        if ins.op in (Op.BEQZ, Op.BNEZ, Op.J, Op.RET) and \
+                i + 1 < len(fn.instructions):
+            starts.add(i + 1)
+    ordered = sorted(starts)
+    return [(s, e) for s, e in zip(ordered, ordered[1:] + [len(fn.instructions)])
+            if s < e]
+
+
+class _BlockState:
+    """Per-register provenance inside one basic block."""
+
+    def __init__(self) -> None:
+        self.regs: Dict[str, Provenance] = {}
+
+    def get(self, reg: Optional[str]) -> Provenance:
+        if reg in STACK_BASES:
+            return Provenance.STACK
+        if reg in STATIC_BASES:
+            return Provenance.STATIC
+        if reg is None:
+            return Provenance.UNKNOWN
+        return self.regs.get(reg, Provenance.UNKNOWN)
+
+    def set(self, reg: Optional[str], prov: Provenance) -> None:
+        if reg is not None and reg not in STACK_BASES \
+                and reg not in STATIC_BASES:
+            self.regs[reg] = prov
+
+    def clobber_caller_saved(self) -> None:
+        """A call invalidates temporaries and argument registers; only
+        the provenance of nothing survives in this simple model."""
+        self.regs.clear()
+
+
+def classify_with_provenance(fn: Function,
+                             last_call_target: Dict[int, str]
+                             ) -> Dict[int, AccessClass]:
+    """Classification of every memory instruction (by index) in ``fn``
+    using block-local provenance.  Non-APP sections fall back to the
+    plain section rules."""
+    out: Dict[int, AccessClass] = {}
+    if fn.section is not Section.APP:
+        for i, ins in enumerate(fn.instructions):
+            if ins.is_memory:
+                out[i] = classify(fn, ins)
+        return out
+
+    for start, end in split_basic_blocks(fn):
+        state = _BlockState()
+        for i in range(start, end):
+            ins = fn.instructions[i]
+            op = ins.op
+            if ins.is_memory:
+                prov = state.get(ins.base)
+                if prov is Provenance.STACK:
+                    out[i] = AccessClass.STACK
+                elif prov is Provenance.STATIC:
+                    out[i] = AccessClass.STATIC
+                else:
+                    out[i] = AccessClass.INSTRUMENTED
+                if op is Op.LD:
+                    state.set(ins.reg, Provenance.UNKNOWN)
+            elif op is Op.LI:
+                state.set(ins.reg, Provenance.CONST)
+            elif op is Op.MOV:
+                state.set(ins.reg, state.get(ins.srcs[0]))
+            elif op in (Op.ADD, Op.SUB):
+                state.set(ins.reg, _combine(state.get(ins.srcs[0]),
+                                            state.get(ins.srcs[1])))
+            elif op in (Op.MUL, Op.DIV, Op.AND, Op.OR, Op.XOR,
+                        Op.SLT, Op.SEQ):
+                state.set(ins.reg, Provenance.UNKNOWN)
+            elif op is Op.CALL:
+                state.clobber_caller_saved()
+                if ins.target == "malloc":
+                    state.set(RV, Provenance.HEAP)
+                else:
+                    state.set(RV, Provenance.UNKNOWN)
+    return out
+
+
+class ProvenanceFilter:
+    """Drop-in enhanced analyzer comparable to
+    :class:`~repro.instrument.atom.AtomRewriter.analyze`."""
+
+    def analyze(self, image: BinaryImage) -> InstrumentationReport:
+        report = InstrumentationReport(f"{image.name}+provenance")
+        for name in sorted(image.functions):
+            fn = image.functions[name]
+            classes = classify_with_provenance(fn, {})
+            for i, ins in enumerate(fn.instructions):
+                report.total_instructions += 1
+                if ins.is_memory:
+                    report.counts[classes[i]] += 1
+        return report
+
+
+@dataclass
+class FilterComparison:
+    """Side-by-side of the paper's addressing-mode filter and the
+    provenance filter — quantifying §6.5's promised improvement."""
+
+    binary: str
+    baseline_instrumented: int
+    provenance_instrumented: int
+
+    @property
+    def eliminated_extra(self) -> int:
+        return self.baseline_instrumented - self.provenance_instrumented
+
+    @property
+    def reduction(self) -> float:
+        if self.baseline_instrumented == 0:
+            return 0.0
+        return self.eliminated_extra / self.baseline_instrumented
+
+
+def compare_filters(image: BinaryImage) -> FilterComparison:
+    from repro.instrument.atom import AtomRewriter
+    base = AtomRewriter().analyze(image)
+    enhanced = ProvenanceFilter().analyze(image)
+    return FilterComparison(image.name, base.instrumented,
+                            enhanced.instrumented)

@@ -1,0 +1,153 @@
+"""AST for the miniature kernel language.
+
+Application inner loops are written in this little C-like language and
+compiled to the mini ISA, so that the instruction streams the ATOM-analogue
+classifies are *derived from real programs* rather than invented counts.
+The language distinguishes exactly the storage classes the paper's static
+filter distinguishes:
+
+* ``Local`` / ``LocalArr`` — stack storage (frame-pointer addressing);
+* ``Static`` — statically allocated globals (global-pointer addressing);
+* ``Deref`` — indirection through a pointer (dynamically allocated,
+  potentially shared: these survive the filter and get instrumented);
+* ``LocalArr`` with a non-constant index — stack data the compiler can no
+  longer prove stack-resident once the address leaves the frame-pointer
+  addressing mode; like the paper's basic-block-limited analysis, these
+  are conservatively instrumented and account for the "false"
+  instrumentations that dominate runtime analysis calls (§5.1, §6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass
+class Const(Expr):
+    value: int
+
+
+@dataclass
+class Local(Expr):
+    """A scalar local variable (stack slot)."""
+
+    name: str
+
+
+@dataclass
+class Param(Expr):
+    """A function parameter (spilled to the frame at entry)."""
+
+    name: str
+
+
+@dataclass
+class Static(Expr):
+    """A statically-allocated global scalar."""
+
+    name: str
+
+
+@dataclass
+class LocalArr(Expr):
+    """Element of a stack-allocated array."""
+
+    name: str
+    index: Expr
+
+
+@dataclass
+class Deref(Expr):
+    """``ptr[index]`` through a pointer value (dynamic, possibly shared)."""
+
+    ptr: Expr
+    index: Expr
+
+
+@dataclass
+class Bin(Expr):
+    """Binary arithmetic/comparison: op in {+,-,*,/,&,|,^,<,==}."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    """Call a function and use its return value."""
+
+    name: str
+    args: Sequence[Expr] = ()
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is Local/Static/LocalArr/Deref."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class For(Stmt):
+    """``for (var = start; var < end; var += step) body``."""
+
+    var: Local
+    start: Expr
+    end: Expr
+    body: List[Stmt]
+    step: int = 1
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: List[Stmt]
+    orelse: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class KernelFunction:
+    """One function: parameters, local declarations, body."""
+
+    name: str
+    params: Sequence[str] = ()
+    locals_: Sequence[str] = ()
+    #: (name, size) stack arrays.
+    arrays: Sequence[Tuple[str, int]] = ()
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class KernelProgram:
+    """A compilation unit: static globals plus functions."""
+
+    name: str
+    statics: Sequence[str] = ()
+    functions: List[KernelFunction] = field(default_factory=list)

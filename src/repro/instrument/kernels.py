@@ -1,0 +1,455 @@
+"""Kernel-language sources for the four applications' compute cores.
+
+These are the mini-language analogues of the C sources whose binaries the
+paper instrumented: the inner loops of FFT, SOR, TSP and Water, written
+against dynamically-allocated (potentially shared) arrays via ``Deref``,
+with loop counters and scratch in locals, lookup tables in statics, and
+per-call scratch arrays on the stack.  Compiling and linking them yields
+binaries whose load/store classification regenerates Table 2's structure:
+a handful of app accesses survive the static filter while libraries and
+the CVM runtime dominate raw counts.
+
+Relative sizes follow the paper: Water has the largest instrumented
+residue, then TSP, then FFT, then SOR; FFT and Water additionally link
+``libm`` (their binaries carried ~125k library loads/stores vs ~49k for
+SOR and TSP).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.instrument.kernel_ast import (Assign, Bin, CallExpr, Const, Deref,
+                                         ExprStmt, For, If, KernelFunction,
+                                         KernelProgram, Local, LocalArr,
+                                         Param, Return, Static, While)
+
+
+def _loop(var: str, end, body, start=Const(0), step: int = 1) -> For:
+    return For(Local(var), start, end, body, step=step)
+
+
+# --------------------------------------------------------------------- #
+# FFT: 1D butterflies over a dynamically allocated complex array plus a
+# blocked transpose (the phase that causes the false sharing the paper's
+# Table 3 shows for FFT).
+# --------------------------------------------------------------------- #
+def fft_program() -> KernelProgram:
+    data, twid, n, stride = Param("data"), Param("twiddles"), Param("n"), Param("stride")
+    butterfly = KernelFunction(
+        "fft_butterfly", params=("data", "twiddles", "n", "stride"),
+        locals_=("i", "j", "ar", "ai", "br", "bi", "wr", "wi", "tr", "ti"),
+        body=[
+            _loop("i", Local("n"), [
+                Assign(Local("j"), Bin("+", Local("i"), Local("stride"))),
+                Assign(Local("ar"), Deref(data, Bin("*", Local("i"), Const(2)))),
+                Assign(Local("ai"), Deref(data, Bin("+", Bin("*", Local("i"), Const(2)), Const(1)))),
+                Assign(Local("br"), Deref(data, Bin("*", Local("j"), Const(2)))),
+                Assign(Local("bi"), Deref(data, Bin("+", Bin("*", Local("j"), Const(2)), Const(1)))),
+                Assign(Local("wr"), Deref(twid, Bin("*", Local("i"), Const(2)))),
+                Assign(Local("wi"), Deref(twid, Bin("+", Bin("*", Local("i"), Const(2)), Const(1)))),
+                Assign(Local("tr"), Bin("-", Bin("*", Local("br"), Local("wr")),
+                                        Bin("*", Local("bi"), Local("wi")))),
+                Assign(Local("ti"), Bin("+", Bin("*", Local("br"), Local("wi")),
+                                        Bin("*", Local("bi"), Local("wr")))),
+                Assign(Deref(data, Bin("*", Local("i"), Const(2))),
+                       Bin("+", Local("ar"), Local("tr"))),
+                Assign(Deref(data, Bin("+", Bin("*", Local("i"), Const(2)), Const(1))),
+                       Bin("+", Local("ai"), Local("ti"))),
+                Assign(Deref(data, Bin("*", Local("j"), Const(2))),
+                       Bin("-", Local("ar"), Local("tr"))),
+                Assign(Deref(data, Bin("+", Bin("*", Local("j"), Const(2)), Const(1))),
+                       Bin("-", Local("ai"), Local("ti"))),
+            ]),
+        ])
+    transpose = KernelFunction(
+        "fft_transpose", params=("src", "dst", "rows", "cols"),
+        locals_=("r", "c", "v"),
+        body=[
+            _loop("r", Local("rows"), [
+                _loop("c", Local("cols"), [
+                    Assign(Local("v"), Deref(Param("src"),
+                                             Bin("+", Bin("*", Local("r"), Local("cols")), Local("c")))),
+                    Assign(Deref(Param("dst"),
+                                 Bin("+", Bin("*", Local("c"), Local("rows")), Local("r"))),
+                           Local("v")),
+                ]),
+            ]),
+        ])
+    bitrev = KernelFunction(
+        "fft_bit_reverse", params=("data", "n"),
+        locals_=("i", "j", "bit", "t0", "t1"),
+        arrays=(("perm", 32),),
+        body=[
+            _loop("i", Local("n"), [
+                Assign(Local("j"), Const(0)),
+                Assign(Local("bit"), Const(0)),
+                While(Bin("<", Local("bit"), Const(5)), [
+                    Assign(LocalArr("perm", Local("bit")), Local("j")),
+                    Assign(Local("j"), Bin("+", Bin("*", Local("j"), Const(2)),
+                                           Bin("&", Local("i"), Const(1)))),
+                    Assign(Local("bit"), Bin("+", Local("bit"), Const(1))),
+                ]),
+                If(Bin("<", Local("i"), Local("j")), [
+                    Assign(Local("t0"), Deref(Param("data"), Local("i"))),
+                    Assign(Local("t1"), Deref(Param("data"), Local("j"))),
+                    Assign(Deref(Param("data"), Local("i")), Local("t1")),
+                    Assign(Deref(Param("data"), Local("j")), Local("t0")),
+                ]),
+            ]),
+        ])
+    scale = KernelFunction(
+        "fft_scale", params=("data", "n"),
+        locals_=("i",),
+        body=[
+            _loop("i", Local("n"), [
+                Assign(Deref(Param("data"), Local("i")),
+                       Bin("/", Deref(Param("data"), Local("i")), Static("fft_norm"))),
+            ]),
+        ])
+    main = KernelFunction(
+        "main", params=("n",), locals_=("p", "d", "t"),
+        body=[
+            Assign(Local("d"), CallExpr("malloc", (Bin("*", Local("n"), Const(2)),))),
+            Assign(Local("t"), CallExpr("malloc", (Bin("*", Local("n"), Const(2)),))),
+            ExprStmt(CallExpr("fft_bit_reverse", (Local("d"), Local("n")))),
+            ExprStmt(CallExpr("fft_butterfly",
+                              (Local("d"), Local("t"), Local("n"), Const(1)))),
+            ExprStmt(CallExpr("fft_transpose",
+                              (Local("d"), Local("t"), Const(8), Const(8)))),
+            ExprStmt(CallExpr("fft_scale", (Local("d"), Local("n")))),
+            Return(Const(0)),
+        ])
+    return KernelProgram("fft", statics=("fft_norm", "fft_log2n"),
+                         functions=[butterfly, transpose, bitrev, scale, main])
+
+
+# --------------------------------------------------------------------- #
+# SOR: Jacobi relaxation — the smallest kernel (fewest instrumented ops).
+# --------------------------------------------------------------------- #
+def sor_program() -> KernelProgram:
+    relax = KernelFunction(
+        "sor_relax_row", params=("src", "dst", "cols", "row"),
+        locals_=("c", "up", "down", "left", "right", "base"),
+        body=[
+            Assign(Local("base"), Bin("*", Local("row"), Local("cols"))),
+            _loop("c", Bin("-", Local("cols"), Const(1)), [
+                Assign(Local("up"), Deref(Param("src"),
+                                          Bin("-", Bin("+", Local("base"), Local("c")), Local("cols")))),
+                Assign(Local("down"), Deref(Param("src"),
+                                            Bin("+", Bin("+", Local("base"), Local("c")), Local("cols")))),
+                Assign(Local("left"), Deref(Param("src"),
+                                            Bin("-", Bin("+", Local("base"), Local("c")), Const(1)))),
+                Assign(Local("right"), Deref(Param("src"),
+                                             Bin("+", Bin("+", Local("base"), Local("c")), Const(1)))),
+                Assign(Deref(Param("dst"), Bin("+", Local("base"), Local("c"))),
+                       Bin("/", Bin("+", Bin("+", Local("up"), Local("down")),
+                                    Bin("+", Local("left"), Local("right"))),
+                           Const(4))),
+            ], start=Const(1)),
+        ])
+    init = KernelFunction(
+        "sor_init", params=("grid", "n"), locals_=("i",),
+        body=[
+            _loop("i", Local("n"), [
+                Assign(Deref(Param("grid"), Local("i")), Static("sor_seed")),
+            ]),
+        ])
+    main = KernelFunction(
+        "main", params=("rows", "cols"), locals_=("a", "b", "r"),
+        body=[
+            Assign(Local("a"), CallExpr("malloc",
+                                        (Bin("*", Local("rows"), Local("cols")),))),
+            Assign(Local("b"), CallExpr("malloc",
+                                        (Bin("*", Local("rows"), Local("cols")),))),
+            ExprStmt(CallExpr("sor_init",
+                              (Local("a"), Bin("*", Local("rows"), Local("cols"))))),
+            _loop("r", Bin("-", Local("rows"), Const(1)), [
+                ExprStmt(CallExpr("sor_relax_row",
+                                  (Local("a"), Local("b"), Local("cols"), Local("r")))),
+            ], start=Const(1)),
+            Return(Const(0)),
+        ])
+    return KernelProgram("sor", statics=("sor_seed",),
+                         functions=[relax, init, main])
+
+
+# --------------------------------------------------------------------- #
+# TSP: branch-and-bound with a shared work queue and global bound —
+# pointer-chasing code with many instrumented accesses per line.
+# --------------------------------------------------------------------- #
+def tsp_program() -> KernelProgram:
+    dist = lambda i, j: Deref(Param("dmat"), Bin("+", Bin("*", i, Static("tsp_ncities")), j))  # noqa: E731
+    tour_len = KernelFunction(
+        "tsp_tour_length", params=("dmat", "tour", "k"),
+        locals_=("i", "total", "a", "b"),
+        body=[
+            Assign(Local("total"), Const(0)),
+            _loop("i", Bin("-", Local("k"), Const(1)), [
+                Assign(Local("a"), Deref(Param("tour"), Local("i"))),
+                Assign(Local("b"), Deref(Param("tour"), Bin("+", Local("i"), Const(1)))),
+                Assign(Local("total"), Bin("+", Local("total"),
+                                           dist(Local("a"), Local("b")))),
+            ]),
+            Return(Local("total")),
+        ])
+    expand = KernelFunction(
+        "tsp_expand_node", params=("dmat", "queue", "qlen", "node"),
+        locals_=("city", "len", "slot", "c"),
+        arrays=(("visited", 24),),
+        body=[
+            _loop("c", Static("tsp_ncities"), [
+                Assign(LocalArr("visited", Local("c")), Const(0)),
+            ]),
+            _loop("c", Static("tsp_ncities"), [
+                Assign(Local("city"), Deref(Param("queue"),
+                                            Bin("+", Param("node"), Local("c")))),
+                Assign(LocalArr("visited", Local("city")), Const(1)),
+            ]),
+            _loop("c", Static("tsp_ncities"), [
+                If(Bin("==", LocalArr("visited", Local("c")), Const(0)), [
+                    Assign(Local("slot"), Bin("+", Param("qlen"), Local("c"))),
+                    Assign(Deref(Param("queue"), Local("slot")), Local("c")),
+                ]),
+            ]),
+            Return(Local("slot")),
+        ])
+    prune = KernelFunction(
+        "tsp_prune", params=("lower", "bound_ptr"),
+        locals_=("bound",),
+        body=[
+            # The famous unsynchronized read of the global tour bound.
+            Assign(Local("bound"), Deref(Param("bound_ptr"), Const(0))),
+            If(Bin("<", Local("bound"), Local("lower")),
+               [Return(Const(1))], [Return(Const(0))]),
+        ])
+    update_bound = KernelFunction(
+        "tsp_update_bound", params=("bound_ptr", "candidate"),
+        locals_=("cur",),
+        body=[
+            Assign(Local("cur"), Deref(Param("bound_ptr"), Const(0))),
+            If(Bin("<", Param("candidate"), Local("cur")), [
+                Assign(Deref(Param("bound_ptr"), Const(0)), Param("candidate")),
+            ]),
+        ])
+    validate = KernelFunction(
+        "tsp_validate_tour", params=("tour", "k"),
+        locals_=("i", "j", "a", "b", "dups"),
+        body=[
+            Assign(Local("dups"), Const(0)),
+            _loop("i", Local("k"), [
+                Assign(Local("a"), Deref(Param("tour"), Local("i"))),
+                _loop("j", Local("k"), [
+                    Assign(Local("b"), Deref(Param("tour"), Local("j"))),
+                    If(Bin("==", Local("a"), Local("b")), [
+                        Assign(Local("dups"), Bin("+", Local("dups"), Const(1))),
+                    ]),
+                ]),
+            ]),
+            Return(Local("dups")),
+        ])
+    compact = KernelFunction(
+        "tsp_compact_queue", params=("queue", "qlen"),
+        locals_=("src", "dst", "flag", "v", "w"),
+        body=[
+            Assign(Local("dst"), Const(0)),
+            _loop("src", Local("qlen"), [
+                Assign(Local("flag"), Deref(Param("queue"), Local("src"))),
+                If(Bin("<", Const(0), Local("flag")), [
+                    Assign(Local("v"), Deref(Param("queue"), Local("src"))),
+                    Assign(Local("w"), Deref(Param("queue"),
+                                             Bin("+", Local("src"), Const(1)))),
+                    Assign(Deref(Param("queue"), Local("dst")), Local("v")),
+                    Assign(Deref(Param("queue"),
+                                 Bin("+", Local("dst"), Const(1))), Local("w")),
+                    Assign(Local("dst"), Bin("+", Local("dst"), Const(2))),
+                ]),
+            ]),
+            Return(Local("dst")),
+        ])
+    record_best = KernelFunction(
+        "tsp_record_best", params=("tour", "best", "k"),
+        locals_=("i", "v"),
+        body=[
+            _loop("i", Local("k"), [
+                Assign(Local("v"), Deref(Param("tour"), Local("i"))),
+                Assign(Deref(Param("best"), Local("i")), Local("v")),
+            ]),
+            Assign(Deref(Param("best"), Local("k")),
+                   Static("tsp_best_seen")),
+        ])
+    main = KernelFunction(
+        "main", params=("ncities",), locals_=("dmat", "queue", "bound", "i", "l"),
+        body=[
+            Assign(Static("tsp_ncities"), Local("ncities")),
+            Assign(Local("dmat"), CallExpr("malloc",
+                                           (Bin("*", Local("ncities"), Local("ncities")),))),
+            Assign(Local("queue"), CallExpr("malloc", (Const(4096),))),
+            Assign(Local("bound"), CallExpr("malloc", (Const(1),))),
+            Assign(Deref(Local("bound"), Const(0)), Const(1 << 20)),
+            _loop("i", Local("ncities"), [
+                Assign(Local("l"), CallExpr("tsp_tour_length",
+                                            (Local("dmat"), Local("queue"), Local("ncities")))),
+                ExprStmt(CallExpr("tsp_update_bound", (Local("bound"), Local("l")))),
+                ExprStmt(CallExpr("tsp_expand_node",
+                                  (Local("dmat"), Local("queue"), Local("i"), Local("i")))),
+                ExprStmt(CallExpr("tsp_prune", (Local("l"), Local("bound")))),
+                ExprStmt(CallExpr("tsp_validate_tour",
+                                  (Local("queue"), Local("ncities")))),
+                ExprStmt(CallExpr("tsp_record_best",
+                                  (Local("queue"), Local("dmat"), Local("i")))),
+            ]),
+            ExprStmt(CallExpr("tsp_compact_queue",
+                              (Local("queue"), Local("ncities")))),
+            Return(Const(0)),
+        ])
+    return KernelProgram("tsp", statics=("tsp_ncities", "tsp_best_seen"),
+                         functions=[tour_len, expand, prune, update_bound,
+                                    validate, compact, record_best, main])
+
+
+# --------------------------------------------------------------------- #
+# Water: the largest kernel — O(n^2) molecular force interactions over
+# shared position/force arrays plus intra-molecule updates.
+# --------------------------------------------------------------------- #
+def water_program() -> KernelProgram:
+    def vec(ptr, mol, axis):
+        return Deref(Param(ptr), Bin("+", Bin("*", mol, Const(3)), Const(axis)))
+
+    inter = KernelFunction(
+        "water_interf", params=("pos", "forces", "i", "j"),
+        locals_=("dx", "dy", "dz", "r2", "f"),
+        body=[
+            Assign(Local("dx"), Bin("-", vec("pos", Local("i"), 0),
+                                    vec("pos", Local("j"), 0))),
+            Assign(Local("dy"), Bin("-", vec("pos", Local("i"), 1),
+                                    vec("pos", Local("j"), 1))),
+            Assign(Local("dz"), Bin("-", vec("pos", Local("i"), 2),
+                                    vec("pos", Local("j"), 2))),
+            Assign(Local("r2"), Bin("+", Bin("*", Local("dx"), Local("dx")),
+                                    Bin("+", Bin("*", Local("dy"), Local("dy")),
+                                        Bin("*", Local("dz"), Local("dz"))))),
+            Assign(Local("f"), Bin("/", Static("water_cutoff"),
+                                   Bin("+", Local("r2"), Const(1)))),
+            Assign(vec("forces", Local("i"), 0),
+                   Bin("+", vec("forces", Local("i"), 0),
+                       Bin("*", Local("f"), Local("dx")))),
+            Assign(vec("forces", Local("i"), 1),
+                   Bin("+", vec("forces", Local("i"), 1),
+                       Bin("*", Local("f"), Local("dy")))),
+            Assign(vec("forces", Local("i"), 2),
+                   Bin("+", vec("forces", Local("i"), 2),
+                       Bin("*", Local("f"), Local("dz")))),
+            Assign(vec("forces", Local("j"), 0),
+                   Bin("-", vec("forces", Local("j"), 0),
+                       Bin("*", Local("f"), Local("dx")))),
+            Assign(vec("forces", Local("j"), 1),
+                   Bin("-", vec("forces", Local("j"), 1),
+                       Bin("*", Local("f"), Local("dy")))),
+            Assign(vec("forces", Local("j"), 2),
+                   Bin("-", vec("forces", Local("j"), 2),
+                       Bin("*", Local("f"), Local("dz")))),
+        ])
+    intra = KernelFunction(
+        "water_intraf", params=("pos", "vel", "forces", "mol"),
+        locals_=("a", "v", "p"),
+        body=[
+            _loop("a", Const(3), [
+                Assign(Local("v"), vec("vel", Param("mol"), 0)),
+                Assign(Local("p"), vec("pos", Param("mol"), 0)),
+                Assign(Deref(Param("vel"),
+                             Bin("+", Bin("*", Param("mol"), Const(3)), Local("a"))),
+                       Bin("+", Local("v"),
+                           Bin("*", Deref(Param("forces"),
+                                          Bin("+", Bin("*", Param("mol"), Const(3)), Local("a"))),
+                               Static("water_dt")))),
+                Assign(Deref(Param("pos"),
+                             Bin("+", Bin("*", Param("mol"), Const(3)), Local("a"))),
+                       Bin("+", Local("p"), Static("water_dt"))),
+            ]),
+        ])
+    kinetic = KernelFunction(
+        "water_kineti", params=("vel", "nmol", "out"),
+        locals_=("m", "a", "sum", "v"),
+        body=[
+            Assign(Local("sum"), Const(0)),
+            _loop("m", Local("nmol"), [
+                _loop("a", Const(3), [
+                    Assign(Local("v"), Deref(Param("vel"),
+                                             Bin("+", Bin("*", Local("m"), Const(3)), Local("a")))),
+                    Assign(Local("sum"), Bin("+", Local("sum"),
+                                             Bin("*", Local("v"), Local("v")))),
+                ]),
+            ]),
+            Assign(Deref(Param("out"), Const(0)), Local("sum")),
+        ])
+    potential = KernelFunction(
+        "water_poteng", params=("pos", "nmol", "out"),
+        locals_=("i", "j", "acc"),
+        body=[
+            Assign(Local("acc"), Const(0)),
+            _loop("i", Local("nmol"), [
+                _loop("j", Local("nmol"), [
+                    Assign(Local("acc"), Bin("+", Local("acc"),
+                                             Deref(Param("pos"),
+                                                   Bin("+", Local("i"), Local("j"))))),
+                ]),
+            ]),
+            # The historical Splash bug: unsynchronized accumulation into a
+            # shared global sum.
+            Assign(Deref(Param("out"), Const(0)),
+                   Bin("+", Deref(Param("out"), Const(0)), Local("acc"))),
+        ])
+    boundary = KernelFunction(
+        "water_bndry", params=("pos", "nmol"),
+        locals_=("m", "a", "p"),
+        body=[
+            _loop("m", Local("nmol"), [
+                _loop("a", Const(3), [
+                    Assign(Local("p"), Deref(Param("pos"),
+                                             Bin("+", Bin("*", Local("m"), Const(3)), Local("a")))),
+                    If(Bin("<", Static("water_boxl"), Local("p")), [
+                        Assign(Deref(Param("pos"),
+                                     Bin("+", Bin("*", Local("m"), Const(3)), Local("a"))),
+                               Bin("-", Local("p"), Static("water_boxl"))),
+                    ]),
+                ]),
+            ]),
+        ])
+    main = KernelFunction(
+        "main", params=("nmol", "steps"),
+        locals_=("pos", "vel", "forces", "sums", "s", "i", "j"),
+        body=[
+            Assign(Local("pos"), CallExpr("malloc", (Bin("*", Local("nmol"), Const(3)),))),
+            Assign(Local("vel"), CallExpr("malloc", (Bin("*", Local("nmol"), Const(3)),))),
+            Assign(Local("forces"), CallExpr("malloc", (Bin("*", Local("nmol"), Const(3)),))),
+            Assign(Local("sums"), CallExpr("malloc", (Const(8),))),
+            _loop("s", Local("steps"), [
+                _loop("i", Local("nmol"), [
+                    _loop("j", Local("nmol"), [
+                        ExprStmt(CallExpr("water_interf",
+                                          (Local("pos"), Local("forces"), Local("i"), Local("j")))),
+                    ]),
+                ]),
+                _loop("i", Local("nmol"), [
+                    ExprStmt(CallExpr("water_intraf",
+                                      (Local("pos"), Local("vel"), Local("forces"), Local("i")))),
+                ]),
+                ExprStmt(CallExpr("water_kineti", (Local("vel"), Local("nmol"), Local("sums")))),
+                ExprStmt(CallExpr("water_poteng", (Local("pos"), Local("nmol"), Local("sums")))),
+                ExprStmt(CallExpr("water_bndry", (Local("pos"), Local("nmol")))),
+            ]),
+            Return(Const(0)),
+        ])
+    return KernelProgram(
+        "water", statics=("water_cutoff", "water_dt", "water_boxl"),
+        functions=[inter, intra, kinetic, potential, boundary, main])
+
+
+#: All four kernel programs, in the paper's order.
+KERNEL_PROGRAMS = {
+    "fft": fft_program,
+    "sor": sor_program,
+    "tsp": tsp_program,
+    "water": water_program,
+}

@@ -1,0 +1,68 @@
+"""Kernel-language *source text* kernels (parsed, not AST-built).
+
+The four Table 2 kernels are built as ASTs in
+:mod:`repro.instrument.kernels`; this module carries additional kernels
+written in the concrete syntax (:mod:`repro.instrument.parser`), currently
+the LU decomposition matching :mod:`repro.apps.lu`.  Everything here runs
+through the same pipeline: parse → compile → link → filter → instrument →
+execute.
+"""
+
+from __future__ import annotations
+
+from repro.instrument.kernel_ast import KernelProgram
+from repro.instrument.parser import parse_kernel
+
+LU_SOURCE = """
+# Dense LU decomposition without pivoting over a malloc'd n x n matrix,
+# mirroring repro.apps.lu: diagonally dominant input, right-looking
+# elimination, trace-of-U readback.
+
+static lu_steps;
+
+func lu_init(a, n) {
+    local r, c, v;
+    for (r = 0; r < n; r += 1) {
+        for (c = 0; c < n; c += 1) {
+            v = (r * 13 + c * 7) - (r + c);
+            if (r == c) { v = v + 4 * n; }
+            a[r * n + c] = v;
+        }
+    }
+}
+
+func lu_eliminate(a, n, k) {
+    local r, c, pivot, factor;
+    pivot = a[k * n + k];
+    for (r = k + 1; r < n; r += 1) {
+        factor = a[r * n + k] / pivot;
+        a[r * n + k] = factor;
+        for (c = k + 1; c < n; c += 1) {
+            a[r * n + c] = a[r * n + c] - factor * a[k * n + c];
+        }
+    }
+    lu_steps = lu_steps + 1;
+}
+
+func lu_trace(a, n) {
+    local i, t;
+    t = 0;
+    for (i = 0; i < n; i += 1) { t = t + a[i * n + i]; }
+    return t;
+}
+
+func main(n) {
+    local a, k;
+    a = malloc(n * n);
+    lu_init(a, n);
+    for (k = 0; k < n - 1; k += 1) {
+        lu_eliminate(a, n, k);
+    }
+    return lu_trace(a, n);
+}
+"""
+
+
+def lu_program() -> KernelProgram:
+    """The LU kernel, parsed from source."""
+    return parse_kernel(LU_SOURCE, name="lu")

@@ -1,0 +1,201 @@
+"""Interpreter for mini-ISA binaries.
+
+Executes application code (including the analysis calls the rewriter
+inserted), so the instrumentation pipeline can be demonstrated end to end:
+compile a kernel, link it, rewrite it with :class:`AtomRewriter`, run it,
+and watch the analysis routine fire once per surviving load/store while
+fp/gp-relative accesses execute silently.
+
+The machine has a flat word-addressed memory with three regions — stack,
+static data, heap — mirroring the address-space layout the run-time shared
+test relies on: dynamically allocated (heap) words are *potentially
+shared*, everything else is private.  ``__race_analysis`` calls land in a
+user hook, which by default classifies the effective address against the
+heap region and counts shared vs. private — the same check CVM's analysis
+routine performs against the shared segment (§5.1).
+
+Library and CVM functions are not executed instruction-by-instruction
+(their bodies are synthetic); calls to them return 0 unless an intrinsic
+is registered.  This matches the modelling boundary: their cost and their
+Table 2 classification matter, their semantics do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import InstrumentationError
+from repro.instrument.atom import ANALYSIS_SYMBOL
+from repro.instrument.isa import (ARG_REGS, FP, GP, RV, BinaryImage,
+                                  Function, Instruction, Op, Section)
+
+#: Memory layout (word addresses).
+STACK_BASE = 0
+STATIC_BASE = 1 << 16
+HEAP_BASE = 1 << 17
+
+AnalysisHook = Callable[[int, bool, str], None]
+
+
+@dataclass
+class AnalysisCounter:
+    """Default analysis hook: classify effective addresses shared/private
+    by region, like CVM's segment-bounds check."""
+
+    shared: int = 0
+    private: int = 0
+    events: List[Tuple[int, bool]] = field(default_factory=list)
+
+    def __call__(self, addr: int, is_store: bool, origin: str) -> None:
+        if addr >= HEAP_BASE:
+            self.shared += 1
+        else:
+            self.private += 1
+        self.events.append((addr, is_store))
+
+
+class Machine:
+    """One mini-ISA execution context."""
+
+    def __init__(self, image: BinaryImage, heap_words: int = 1 << 16,
+                 analysis_hook: Optional[AnalysisHook] = None,
+                 max_steps: int = 5_000_000):
+        self.image = image
+        self.memory: Dict[int, int] = {}
+        self.heap_next = HEAP_BASE
+        self.heap_limit = HEAP_BASE + heap_words
+        self.sp = STACK_BASE + (1 << 15)  # stack grows down
+        self.analysis_hook = analysis_hook or AnalysisCounter()
+        self.analysis_calls = 0
+        self.steps = 0
+        self.max_steps = max_steps
+        self.intrinsics: Dict[str, Callable[..., int]] = {
+            "malloc": self._malloc,
+        }
+        self._labels: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API.
+    # ------------------------------------------------------------------ #
+    def run(self, *args: int, entry: Optional[str] = None) -> int:
+        """Execute the binary's entry function with integer arguments."""
+        name = entry or self.image.entry
+        if name is None:
+            raise InstrumentationError("binary has no entry symbol")
+        return self._call(name, list(args))
+
+    def intrinsic(self, name: str, fn: Callable[..., int]) -> None:
+        """Register a Python implementation for an external symbol."""
+        self.intrinsics[name] = fn
+
+    def read_word(self, addr: int) -> int:
+        return self.memory.get(addr, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.memory[addr] = value
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+    def _malloc(self, nwords: int, *_ignored: int) -> int:
+        """Bump allocator for the heap region.  Intrinsics are invoked with
+        the full argument-register file, so extra values are ignored —
+        user-registered intrinsics should follow the same convention."""
+        addr = self.heap_next
+        if addr + nwords > self.heap_limit:
+            raise InstrumentationError("machine heap exhausted")
+        self.heap_next += nwords
+        return addr
+
+    def _labels_of(self, fn: Function) -> Dict[str, int]:
+        cached = self._labels.get(fn.name)
+        if cached is None:
+            cached = {ins.target: i for i, ins in enumerate(fn.instructions)
+                      if ins.op is Op.LABEL}
+            self._labels[fn.name] = cached
+        return cached
+
+    def _call(self, name: str, args: List[int]) -> int:
+        fn = self.image.functions.get(name)
+        if fn is None or fn.section is not Section.APP:
+            intrinsic = self.intrinsics.get(name)
+            if intrinsic is not None:
+                return int(intrinsic(*args))
+            return 0  # opaque library call
+        frame = self.sp - max(1, fn.frame_words)
+        saved_sp, self.sp = self.sp, frame
+        regs: Dict[str, int] = {FP: frame, GP: STATIC_BASE}
+        for i, v in enumerate(args):
+            regs[ARG_REGS[i]] = v
+        try:
+            return self._exec(fn, regs)
+        finally:
+            self.sp = saved_sp
+
+    def _exec(self, fn: Function, regs: Dict[str, int]) -> int:
+        labels = self._labels_of(fn)
+        code = fn.instructions
+        pc = 0
+        get = lambda r: regs.get(r, 0)  # noqa: E731
+        while pc < len(code):
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise InstrumentationError(
+                    f"machine exceeded {self.max_steps} steps")
+            ins = code[pc]
+            op = ins.op
+            if op is Op.LD:
+                regs[ins.reg] = self.read_word(get(ins.base) + ins.offset)
+            elif op is Op.ST:
+                self.write_word(get(ins.base) + ins.offset, get(ins.reg))
+            elif op is Op.LI:
+                regs[ins.reg] = ins.imm
+            elif op is Op.MOV:
+                regs[ins.reg] = get(ins.srcs[0])
+            elif op is Op.ADD:
+                regs[ins.reg] = get(ins.srcs[0]) + get(ins.srcs[1])
+            elif op is Op.SUB:
+                regs[ins.reg] = get(ins.srcs[0]) - get(ins.srcs[1])
+            elif op is Op.MUL:
+                regs[ins.reg] = get(ins.srcs[0]) * get(ins.srcs[1])
+            elif op is Op.DIV:
+                denom = get(ins.srcs[1])
+                regs[ins.reg] = 0 if denom == 0 else \
+                    int(get(ins.srcs[0]) / denom)
+            elif op is Op.AND:
+                regs[ins.reg] = get(ins.srcs[0]) & get(ins.srcs[1])
+            elif op is Op.OR:
+                regs[ins.reg] = get(ins.srcs[0]) | get(ins.srcs[1])
+            elif op is Op.XOR:
+                regs[ins.reg] = get(ins.srcs[0]) ^ get(ins.srcs[1])
+            elif op is Op.SLT:
+                regs[ins.reg] = 1 if get(ins.srcs[0]) < get(ins.srcs[1]) else 0
+            elif op is Op.SEQ:
+                regs[ins.reg] = 1 if get(ins.srcs[0]) == get(ins.srcs[1]) else 0
+            elif op is Op.BEQZ:
+                if get(ins.srcs[0]) == 0:
+                    pc = labels[ins.target]
+            elif op is Op.BNEZ:
+                if get(ins.srcs[0]) != 0:
+                    pc = labels[ins.target]
+            elif op is Op.J:
+                pc = labels[ins.target]
+            elif op is Op.CALL:
+                if ins.target == ANALYSIS_SYMBOL:
+                    self.analysis_calls += 1
+                    base_val = get(ins.srcs[0]) if ins.srcs else 0
+                    self.analysis_hook(base_val + ins.offset,
+                                       ins.srcs[1] == "st" if len(ins.srcs) > 1
+                                       else False, ins.origin)
+                else:
+                    call_args = [get(ARG_REGS[i]) for i in range(6)]
+                    regs[RV] = self._call(ins.target, call_args)
+            elif op is Op.RET:
+                return get(RV)
+            elif op in (Op.LABEL, Op.NOP):
+                pass
+            else:  # pragma: no cover - exhaustive
+                raise InstrumentationError(f"cannot execute {ins.render()}")
+            pc += 1
+        return get(RV)

@@ -1,0 +1,292 @@
+"""Parser for the kernel language: C-like text → kernel AST.
+
+The compiler consumes an AST (:mod:`repro.instrument.kernel_ast`); this
+module provides the matching concrete syntax, so kernels can be written as
+source text::
+
+    static threshold, above;
+
+    func scan(data, n) {
+        local i, v, sum;
+        sum = 0;
+        for (i = 0; i < n; i += 1) {
+            v = data[i];
+            sum = sum + v;
+            if (threshold < v) { above = above + 1; }
+        }
+        return sum;
+    }
+
+    func main(n) {
+        local p;
+        p = malloc(n);
+        return scan(p, n);
+    }
+
+Semantics notes:
+
+* ``static`` declares globals (gp-addressed);
+* ``local x, y;`` declares scalars (fp-addressed), ``array buf[8];``
+  declares a stack array;
+* ``name[expr]`` is a stack-array element if ``name`` was declared with
+  ``array``, otherwise a pointer dereference through the scalar/param
+  ``name`` — the distinction that decides instrumentation;
+* operators: ``* / `` bind tighter than ``+ -``, then ``& | ^``, then
+  ``< ==``; parentheses as usual.  (A deliberate small language: no
+  unary minus — write ``0 - x``.)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import CompileError
+from repro.instrument import kernel_ast as K
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op>\+=|==|[{}()\[\];,=+\-*/&|^<])
+""", re.VERBOSE)
+
+KEYWORDS = frozenset({"func", "static", "local", "array", "for", "while",
+                      "if", "else", "return"})
+
+
+def tokenize(text: str) -> List[Tuple[str, str, int]]:
+    """(kind, value, line) triples; kind in {num, name, kw, op}."""
+    out: List[Tuple[str, str, int]] = []
+    pos, line = 0, 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise CompileError(
+                f"line {line}: cannot tokenize {text[pos:pos + 12]!r}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            line += m.group().count("\n")
+            continue
+        kind = m.lastgroup
+        value = m.group()
+        if kind == "name" and value in KEYWORDS:
+            kind = "kw"
+        out.append((kind, value, line))
+    out.append(("eof", "", line))
+    return out
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self.statics: List[str] = []
+        # Per-function scopes, filled while parsing a function body.
+        self.params: List[str] = []
+        self.locals_: List[str] = []
+        self.arrays: List[Tuple[str, int]] = []
+
+    # -- token helpers -------------------------------------------------- #
+    def peek(self) -> Tuple[str, str, int]:
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str, int]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        k, v, line = self.next()
+        if k != kind or (value is not None and v != value):
+            want = value or kind
+            raise CompileError(f"line {line}: expected {want!r}, got {v!r}")
+        return v
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        k, v, _ = self.peek()
+        if k == kind and (value is None or v == value):
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------- #
+    def parse_program(self, name: str) -> K.KernelProgram:
+        functions: List[K.KernelFunction] = []
+        while self.peek()[0] != "eof":
+            if self.accept("kw", "static"):
+                self.statics.append(self.expect("name"))
+                while self.accept("op", ","):
+                    self.statics.append(self.expect("name"))
+                self.expect("op", ";")
+            elif self.accept("kw", "func"):
+                functions.append(self.parse_function())
+            else:
+                _k, v, line = self.peek()
+                raise CompileError(
+                    f"line {line}: expected 'func' or 'static', got {v!r}")
+        return K.KernelProgram(name, statics=tuple(self.statics),
+                               functions=functions)
+
+    def parse_function(self) -> K.KernelFunction:
+        fname = self.expect("name")
+        self.expect("op", "(")
+        self.params, self.locals_, self.arrays = [], [], []
+        if not self.accept("op", ")"):
+            self.params.append(self.expect("name"))
+            while self.accept("op", ","):
+                self.params.append(self.expect("name"))
+            self.expect("op", ")")
+        body = self.parse_block()
+        return K.KernelFunction(fname, params=tuple(self.params),
+                                locals_=tuple(self.locals_),
+                                arrays=tuple(self.arrays), body=body)
+
+    def parse_block(self) -> List[K.Stmt]:
+        self.expect("op", "{")
+        stmts: List[K.Stmt] = []
+        while not self.accept("op", "}"):
+            stmt = self.parse_stmt()
+            if stmt is not None:
+                stmts.append(stmt)
+        return stmts
+
+    def parse_stmt(self) -> Optional[K.Stmt]:
+        if self.accept("kw", "local"):
+            self.locals_.append(self.expect("name"))
+            while self.accept("op", ","):
+                self.locals_.append(self.expect("name"))
+            self.expect("op", ";")
+            return None
+        if self.accept("kw", "array"):
+            aname = self.expect("name")
+            self.expect("op", "[")
+            size = int(self.expect("num"))
+            self.expect("op", "]")
+            self.expect("op", ";")
+            self.arrays.append((aname, size))
+            return None
+        if self.accept("kw", "for"):
+            return self.parse_for()
+        if self.accept("kw", "while"):
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            return K.While(cond, self.parse_block())
+        if self.accept("kw", "if"):
+            self.expect("op", "(")
+            cond = self.parse_expr()
+            self.expect("op", ")")
+            then = self.parse_block()
+            orelse: List[K.Stmt] = []
+            if self.accept("kw", "else"):
+                orelse = self.parse_block()
+            return K.If(cond, then, orelse)
+        if self.accept("kw", "return"):
+            if self.accept("op", ";"):
+                return K.Return(None)
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return K.Return(value)
+        # assignment or expression statement
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (K.Local, K.Param, K.Static,
+                                     K.LocalArr, K.Deref)):
+                raise CompileError(
+                    f"line {self.peek()[2]}: cannot assign to this target")
+            value = self.parse_expr()
+            self.expect("op", ";")
+            return K.Assign(expr, value)
+        self.expect("op", ";")
+        return K.ExprStmt(expr)
+
+    def parse_for(self) -> K.For:
+        self.expect("op", "(")
+        var_name = self.expect("name")
+        var = self._name_ref(var_name)
+        if not isinstance(var, K.Local):
+            raise CompileError("for-loop variable must be a declared local")
+        self.expect("op", "=")
+        start = self.parse_expr()
+        self.expect("op", ";")
+        cond_name = self.expect("name")
+        if cond_name != var_name:
+            raise CompileError(
+                f"for-loop condition must test {var_name!r}")
+        self.expect("op", "<")
+        end = self.parse_expr()
+        self.expect("op", ";")
+        step_name = self.expect("name")
+        if step_name != var_name:
+            raise CompileError(f"for-loop step must update {var_name!r}")
+        self.expect("op", "+=")
+        step = int(self.expect("num"))
+        self.expect("op", ")")
+        return K.For(var, start, end, self.parse_block(), step=step)
+
+    # -- expressions (precedence climbing) ------------------------------- #
+    _LEVELS: Sequence[Sequence[str]] = (("<", "=="), ("&", "|", "^"),
+                                        ("+", "-"), ("*", "/"))
+
+    def parse_expr(self, level: int = 0) -> K.Expr:
+        if level == len(self._LEVELS):
+            return self.parse_primary()
+        ops = self._LEVELS[level]
+        left = self.parse_expr(level + 1)
+        while True:
+            k, v, _ = self.peek()
+            if k == "op" and v in ops:
+                self.next()
+                right = self.parse_expr(level + 1)
+                left = K.Bin(v, left, right)
+            else:
+                return left
+
+    def parse_primary(self) -> K.Expr:
+        k, v, line = self.next()
+        if k == "num":
+            return K.Const(int(v))
+        if k == "op" and v == "(":
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if k != "name":
+            raise CompileError(f"line {line}: unexpected {v!r} in expression")
+        # call?
+        if self.accept("op", "("):
+            args: List[K.Expr] = []
+            if not self.accept("op", ")"):
+                args.append(self.parse_expr())
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+                self.expect("op", ")")
+            return K.CallExpr(v, tuple(args))
+        # index?
+        if self.accept("op", "["):
+            index = self.parse_expr()
+            self.expect("op", "]")
+            if any(name == v for name, _size in self.arrays):
+                return K.LocalArr(v, index)
+            return K.Deref(self._name_ref(v), index)
+        return self._name_ref(v)
+
+    def _name_ref(self, name: str) -> K.Expr:
+        if name in self.locals_:
+            return K.Local(name)
+        if name in self.params:
+            return K.Param(name)
+        if name in self.statics:
+            return K.Static(name)
+        raise CompileError(f"undeclared name {name!r}")
+
+
+def parse_kernel(text: str, name: str = "kernel") -> K.KernelProgram:
+    """Parse kernel-language source into a :class:`KernelProgram`."""
+    return _Parser(text).parse_program(name)
+
+
+def compile_source(text: str, name: str = "kernel"):
+    """Parse and compile in one step; returns an ObjectFile."""
+    from repro.instrument.compiler import compile_kernel
+    return compile_kernel(parse_kernel(text, name))

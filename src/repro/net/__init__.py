@@ -1,0 +1,19 @@
+"""Simulated point-to-point network.
+
+CVM runs its own end-to-end protocols over UDP (paper §4).  In this
+reproduction, message *contents* travel between simulated processes as plain
+Python object references — control flow is synchronous and deterministic —
+while this package accounts for what the network would have cost: per-message
+latency, per-byte bandwidth, datagram size limits, and per-tag traffic
+statistics.
+
+Wire sizes are computed from explicit field-size rules
+(:mod:`repro.net.message`) so that the paper's Table 3 "message overhead of
+read notices" column can be regenerated from actual byte counts.
+"""
+
+from repro.net.message import Message, WireSizer
+from repro.net.stats import TrafficStats
+from repro.net.transport import Transport
+
+__all__ = ["Message", "Transport", "TrafficStats", "WireSizer"]

@@ -1,0 +1,115 @@
+"""Messages and wire-size accounting.
+
+A :class:`Message` is a tagged payload travelling between two simulated
+processes.  Its size on the wire is computed by a :class:`WireSizer`, which
+knows the encoded size of the protocol data structures (version vectors,
+write/read notices, word bitmaps, page contents).  Sizes follow CVM's layout
+conventions: 32-bit integers for ids and indices, one vector-clock entry per
+process, page-sized data blocks, and one bit per word for access bitmaps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Encoded size of a 32-bit integer field.
+INT_BYTES = 4
+#: Fixed per-message header (src, dst, tag, length, seqno...).
+HEADER_BYTES = 24
+
+_message_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """One simulated datagram.
+
+    Attributes:
+        tag: Protocol message type, e.g. ``"lock_grant"`` or
+            ``"barrier_arrival"``.
+        src: Sending process id.
+        dst: Receiving process id.
+        payload: Arbitrary protocol data (not serialized; sizes are
+            accounted separately).
+        nbytes: Wire size in bytes, including the header.
+        send_time: Sender's virtual time at transmission.
+        arrival_time: Receiver-side virtual arrival time (filled in by the
+            transport).
+    """
+
+    tag: str
+    src: int
+    dst: int
+    payload: Any
+    nbytes: int
+    send_time: float = 0.0
+    arrival_time: float = 0.0
+    seqno: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if self.nbytes < HEADER_BYTES:
+            raise ValueError(f"message smaller than its header: {self.nbytes}")
+
+
+class WireSizer:
+    """Computes encoded sizes of protocol structures.
+
+    Parameterized by the number of processes (vector-clock width) and the
+    page size in words (bitmap and page-data sizes).
+    """
+
+    def __init__(self, nprocs: int, page_size_words: int):
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        if page_size_words <= 0 or page_size_words % 8 != 0:
+            raise ValueError("page_size_words must be a positive multiple of 8")
+        self.nprocs = nprocs
+        self.page_size_words = page_size_words
+
+    # -- primitive fields ------------------------------------------------ #
+    def ints(self, n: int = 1) -> int:
+        """Size of ``n`` 32-bit integer fields."""
+        return INT_BYTES * n
+
+    def vector_clock(self) -> int:
+        """One interval-index entry per process."""
+        return INT_BYTES * self.nprocs
+
+    # -- protocol structures --------------------------------------------- #
+    def notice_list(self, npages: int) -> int:
+        """A write- or read-notice list: a count plus one page id per entry.
+
+        Read and write notices are the same size (paper §5.3); read notices
+        cost more bandwidth only because reads outnumber writes.
+        """
+        return INT_BYTES * (1 + npages)
+
+    def interval_record(self, nwrite_notices: int, nread_notices: int = 0) -> int:
+        """An interval on the wire: owner pid + index + version vector +
+        its notice lists."""
+        return (self.ints(2) + self.vector_clock()
+                + self.notice_list(nwrite_notices)
+                + self.notice_list(nread_notices))
+
+    def bitmap(self) -> int:
+        """A word-granularity access bitmap for one page: one bit per word."""
+        return self.page_size_words // 8
+
+    def page_data(self, word_bytes: int = 8) -> int:
+        """Full page contents (Alpha: 8-byte words)."""
+        return self.page_size_words * word_bytes
+
+    def diff(self, nchanged_words: int, word_bytes: int = 8) -> int:
+        """A run-length diff: count plus (offset, value) per changed word."""
+        return INT_BYTES + nchanged_words * (INT_BYTES + word_bytes)
+
+    def message(self, body_bytes: int) -> int:
+        """Total wire size of a message with ``body_bytes`` of body."""
+        return HEADER_BYTES + body_bytes
+
+
+def sizer_for(nprocs: int, page_size_words: int) -> WireSizer:
+    """Convenience constructor used by the DSM configuration."""
+    return WireSizer(nprocs, page_size_words)

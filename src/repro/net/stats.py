@@ -1,0 +1,64 @@
+"""Traffic statistics.
+
+The harness uses these counters to regenerate the paper's Table 3 "Msg
+Overhead" column: the fraction of total synchronization-message bandwidth
+attributable to read notices (the detector's addition) — plus general
+per-tag accounting used in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class TrafficStats:
+    """Byte and message counters, per message tag and per (src, dst) pair."""
+
+    messages_by_tag: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_tag: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_pair: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int))
+    #: Bytes consumed specifically by read notices (detector addition).
+    read_notice_bytes: int = 0
+    #: Bytes consumed by the extra bitmap-retrieval round (detector addition).
+    bitmap_round_bytes: int = 0
+
+    def record(self, tag: str, src: int, dst: int, nbytes: int) -> None:
+        self.messages_by_tag[tag] += 1
+        self.bytes_by_tag[tag] += nbytes
+        self.bytes_by_pair[(src, dst)] += nbytes
+
+    def add_read_notice_bytes(self, nbytes: int) -> None:
+        self.read_notice_bytes += nbytes
+
+    def add_bitmap_round_bytes(self, nbytes: int) -> None:
+        self.bitmap_round_bytes += nbytes
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_tag.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_tag.values())
+
+    def message_overhead_fraction(self) -> float:
+        """Fraction of all bandwidth added by the race detector (read
+        notices plus the bitmap round), the quantity in Table 3's "Msg
+        Ohead" column."""
+        total = self.total_bytes
+        if total == 0:
+            return 0.0
+        return (self.read_notice_bytes + self.bitmap_round_bytes) / total
+
+    def summary(self) -> Dict[str, int]:
+        """Flat summary used in logs and tests."""
+        return {
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "read_notice_bytes": self.read_notice_bytes,
+            "bitmap_round_bytes": self.bitmap_round_bytes,
+        }

@@ -1,0 +1,92 @@
+"""Simulated transport: latency, bandwidth, size limits, statistics.
+
+Control flow in the simulation is synchronous (the protocol handler runs as
+a direct call in the sender's thread), so the transport's job is purely to
+*account* for the message: compute its wire size, enforce the maximum
+datagram size, charge transmission cycles, record statistics, and compute
+the receiver-side arrival time that the protocol uses to advance the
+receiver's virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import MessageTooLargeError
+from repro.net.message import HEADER_BYTES, Message
+from repro.net.stats import TrafficStats
+from repro.sim.clock import VirtualClock
+from repro.sim.costmodel import CostCategory, CostModel
+
+#: CVM ran over UDP; its effective maximum datagram size bounds how much
+#: consistency information one synchronization message can carry (§5.3).
+DEFAULT_MAX_DATAGRAM = 64 * 1024
+
+
+class Transport:
+    """Accounting-only network between simulated processes."""
+
+    def __init__(self, cost_model: CostModel,
+                 max_datagram: int = DEFAULT_MAX_DATAGRAM,
+                 stats: Optional[TrafficStats] = None,
+                 trace: bool = False):
+        self.cost_model = cost_model
+        self.max_datagram = max_datagram
+        self.stats = stats or TrafficStats()
+        #: When tracing, every sent message is retained (tests/debugging;
+        #: payloads are references, so keep runs small).
+        self.trace = trace
+        self.messages: list = []
+
+    def send(self, tag: str, src: int, dst: int, payload: Any,
+             body_bytes: int, src_clock: VirtualClock,
+             category: CostCategory = CostCategory.BASE,
+             fragmentable: bool = False) -> Message:
+        """Transmit a message, charging the sender and returning it with its
+        arrival time filled in.
+
+        Args:
+            tag: Protocol message type.
+            src, dst: Endpoint process ids.
+            payload: Protocol data carried by reference.
+            body_bytes: Encoded body size (header added here).
+            src_clock: Sender's virtual clock; charged the full
+                transmission cost (CVM's protocols are sender-driven).
+            category: Cost category the transmission is charged to.  Base
+                protocol messages use BASE; e.g. the detector's bitmap
+                round charges BITMAPS.
+            fragmentable: If True, messages above the datagram limit are
+                charged as multiple fragments instead of failing — the
+                "modified communication layer" the paper says is coming
+                (§5.3).  Default False: oversize messages raise
+                :class:`MessageTooLargeError`, as in the paper's prototype.
+
+        Returns:
+            The :class:`Message`, with ``arrival_time`` set to the virtual
+            time at which the receiver may consume it.
+        """
+        nbytes = HEADER_BYTES + body_bytes
+        if nbytes > self.max_datagram and not fragmentable:
+            raise MessageTooLargeError(nbytes, self.max_datagram, tag)
+
+        nfragments = max(1, -(-nbytes // self.max_datagram))
+        cycles = (self.cost_model.cycles_per_byte * nbytes
+                  + self.cost_model.msg_latency * nfragments)
+        send_time = src_clock.now
+        src_clock.advance(cycles, category)
+        arrival = src_clock.now  # store-and-forward: arrival == send done
+
+        msg = Message(tag=tag, src=src, dst=dst, payload=payload,
+                      nbytes=nbytes, send_time=send_time,
+                      arrival_time=arrival)
+        self.stats.record(tag, src, dst, nbytes)
+        if self.trace:
+            self.messages.append(msg)
+        return msg
+
+    def deliver(self, msg: Message, dst_clock: VirtualClock) -> Any:
+        """Advance the receiver's clock to the message arrival time and
+        return the payload.  Idempotent with respect to clock time (a
+        receiver already past the arrival time is unaffected)."""
+        dst_clock.wait_until(msg.arrival_time)
+        return msg.payload

@@ -1,0 +1,31 @@
+"""Synchronization record/replay and racy-access attribution (§6.1, §7).
+
+The paper's reference-identification story: the online system reports the
+*address* of a racy variable plus the interval indexes; mapping that back to
+the *instructions* involved would require retaining a program counter per
+access — prohibitive.  Instead (§6.1), a second run re-executes the program
+and collects PC information only for accesses to the conflicted address.
+Because the racy programs have nondeterministic synchronization order
+(general races), the second run must enforce the first run's
+synchronization order — the ROLT idea (§7): record minimal ordering
+information (the sequence in which each lock is granted), then force the
+same grant order on replay.
+
+* :class:`~repro.replay.record.LockOrderRecorder` — first run: log grants.
+* :class:`~repro.replay.replay.LockOrderEnforcer` — second run: force them.
+* :func:`~repro.replay.attribute.attribute_races` — the full two-run
+  pipeline: detect races, then replay with a watch on the racy addresses
+  and return the access sites (our PC analogue) that produced them.
+"""
+
+from repro.replay.attribute import AttributionReport, attribute_races
+from repro.replay.record import LockOrderRecorder, SyncOrderLog
+from repro.replay.replay import LockOrderEnforcer
+
+__all__ = [
+    "AttributionReport",
+    "LockOrderEnforcer",
+    "LockOrderRecorder",
+    "SyncOrderLog",
+    "attribute_races",
+]

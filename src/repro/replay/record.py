@@ -1,0 +1,53 @@
+"""Recording synchronization order (the ROLT-style first run).
+
+The only nondeterminism in a properly-labeled DSM program is the order in
+which contended synchronization is granted; logging one pid sequence per
+lock therefore suffices to reproduce the execution (barriers are symmetric
+and need no log).  The log is tiny — this is exactly why ROLT's first-run
+overhead is minimal (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SyncOrderLog:
+    """Grant order per lock id."""
+
+    grants: Dict[int, List[int]] = field(default_factory=dict)
+
+    def append(self, lid: int, pid: int) -> None:
+        self.grants.setdefault(lid, []).append(pid)
+
+    def total_grants(self) -> int:
+        return sum(len(seq) for seq in self.grants.values())
+
+    def log_bytes(self) -> int:
+        """Encoded size: one 32-bit pid per grant plus one id+length per
+        lock — the ordering information a ROLT first run persists."""
+        return 4 * self.total_grants() + 8 * len(self.grants)
+
+
+class LockOrderRecorder:
+    """Attach to ``CVM.lock_order`` during the first run.
+
+    Implements the controller protocol the DSM consults:
+    :meth:`may_acquire` never blocks (recording is passive) and
+    :meth:`record_grant` appends to the log.
+    """
+
+    def __init__(self) -> None:
+        self.log = SyncOrderLog()
+
+    # -- controller protocol ------------------------------------------- #
+    def may_acquire(self, lid: int, pid: int) -> bool:
+        return True
+
+    def expected_next(self, lid: int):
+        return None  # no constraint while recording
+
+    def record_grant(self, lid: int, pid: int) -> None:
+        self.log.append(lid, pid)

@@ -1,0 +1,56 @@
+"""Enforcing a recorded synchronization order (the second run).
+
+The enforcer gates lock acquisition so grants happen in exactly the
+recorded per-lock sequence, regardless of the second run's scheduling
+policy or seed.  Divergence — a process asking for a grant the log never
+gave it, or the log running dry — raises
+:class:`~repro.errors.ReplayError` rather than silently producing a
+different execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ReplayError
+from repro.replay.record import SyncOrderLog
+
+
+class LockOrderEnforcer:
+    """Attach to ``CVM.lock_order`` during a replay run."""
+
+    def __init__(self, log: SyncOrderLog):
+        self.log = log
+        self._pos: Dict[int, int] = {lid: 0 for lid in log.grants}
+        self.grants_replayed = 0
+
+    # -- controller protocol ------------------------------------------- #
+    def expected_next(self, lid: int) -> Optional[int]:
+        """Pid that must receive the next grant of ``lid`` (None when the
+        lock has no recorded constraint left)."""
+        seq = self.log.grants.get(lid)
+        if seq is None:
+            return None
+        pos = self._pos.get(lid, 0)
+        if pos >= len(seq):
+            return None
+        return seq[pos]
+
+    def may_acquire(self, lid: int, pid: int) -> bool:
+        expected = self.expected_next(lid)
+        return expected is None or expected == pid
+
+    def record_grant(self, lid: int, pid: int) -> None:
+        expected = self.expected_next(lid)
+        if expected is not None and expected != pid:
+            raise ReplayError(
+                f"replay diverged on lock {lid}: grant #{self._pos[lid]} "
+                f"went to P{pid}, recorded P{expected}")
+        if lid in self._pos:
+            self._pos[lid] = self._pos.get(lid, 0) + 1
+        self.grants_replayed += 1
+
+    def fully_consumed(self) -> bool:
+        """True if every recorded grant was replayed."""
+        return all(self._pos.get(lid, 0) >= len(seq)
+                   for lid, seq in self.log.grants.items())

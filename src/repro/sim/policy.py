@@ -1,0 +1,57 @@
+"""Scheduling policies.
+
+The scheduler asks its policy which of the currently-ready processes to run
+next.  Policies are deterministic: :class:`RoundRobinPolicy` cycles in pid
+order; :class:`RandomPolicy` draws from a seeded :class:`random.Random`.
+Different seeds explore different legal interleavings — useful for shaking
+out scheduling-sensitive detector behaviour in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+class SchedulingPolicy:
+    """Interface: pick the next pid to run from a non-empty ready list."""
+
+    def pick(self, ready: Sequence[int], last: Optional[int]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Run the lowest pid strictly greater than the last one (wrapping)."""
+
+    def pick(self, ready: Sequence[int], last: Optional[int]) -> int:
+        if not ready:
+            raise ValueError("ready list is empty")
+        ordered: List[int] = sorted(ready)
+        if last is None:
+            return ordered[0]
+        for pid in ordered:
+            if pid > last:
+                return pid
+        return ordered[0]
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniform random choice with a private seeded generator."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def pick(self, ready: Sequence[int], last: Optional[int]) -> int:
+        if not ready:
+            raise ValueError("ready list is empty")
+        return self._rng.choice(sorted(ready))
+
+
+def make_policy(spec: str, seed: int = 0) -> SchedulingPolicy:
+    """Build a policy from a string spec: ``"round_robin"`` or ``"random"``."""
+    if spec == "round_robin":
+        return RoundRobinPolicy()
+    if spec == "random":
+        return RandomPolicy(seed)
+    raise ValueError(f"unknown scheduling policy {spec!r}")

@@ -1,0 +1,260 @@
+"""Token-passing deterministic scheduler.
+
+Simulated processes are Python threads, but at most one ever executes: a
+single *token* is passed between the dispatcher (the thread that called
+:meth:`Scheduler.run`) and the process threads.  Processes hand the token
+back at explicit yield points — the DSM substrate yields at synchronization
+operations and page faults — and the scheduling policy picks who runs next.
+Given the same policy and seed, an execution is fully reproducible.
+
+This design lets application code (FFT, SOR, TSP, Water...) be written as
+ordinary Python functions while the simulation retains complete control over
+interleaving, which is what makes race *occurrence* deterministic and the
+experiments repeatable.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeadlockError, ProcessFailure, SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.policy import RoundRobinPolicy, SchedulingPolicy
+
+
+class ProcState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class SimProcess:
+    """One simulated process: a function plus its thread, state and clock."""
+
+    def __init__(self, pid: int, fn: Callable[..., Any], args: tuple, name: str):
+        self.pid = pid
+        self.fn = fn
+        self.args = args
+        self.name = name
+        self.state = ProcState.NEW
+        self.block_reason: Optional[str] = None
+        self.clock = VirtualClock()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.thread: Optional[threading.Thread] = None
+        #: Number of times this process passed a yield point.
+        self.yields = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimProcess(pid={self.pid}, state={self.state.value})"
+
+
+class Scheduler:
+    """Runs a set of :class:`SimProcess` to completion, one at a time.
+
+    Usage::
+
+        sched = Scheduler()
+        for pid in range(8):
+            sched.spawn(worker, pid)
+        sched.run()
+
+    Process code interacts with the scheduler through
+    :meth:`yield_control`, :meth:`block` and :meth:`unblock`; the DSM layer
+    wraps these so applications never call them directly.
+    """
+
+    _DISPATCHER = None  # token value meaning "dispatcher's turn"
+
+    def __init__(self, policy: Optional[SchedulingPolicy] = None,
+                 max_switches: int = 50_000_000):
+        self.policy = policy or RoundRobinPolicy()
+        self.max_switches = max_switches
+        self.processes: Dict[int, SimProcess] = {}
+        self.switches = 0
+        self._cv = threading.Condition()
+        self._token: Optional[int] = self._DISPATCHER
+        self._shutdown = False
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher side.
+    # ------------------------------------------------------------------ #
+    def spawn(self, fn: Callable[..., Any], *args: Any,
+              name: Optional[str] = None) -> SimProcess:
+        """Register a new process; it starts running when :meth:`run` is
+        called.  Spawning after :meth:`run` has begun is not supported."""
+        if self._started:
+            raise SimulationError("cannot spawn after run() has started")
+        pid = len(self.processes)
+        proc = SimProcess(pid, fn, args, name or f"P{pid}")
+        self.processes[pid] = proc
+        return proc
+
+    def run(self) -> None:
+        """Execute all spawned processes to completion.
+
+        Raises :class:`ProcessFailure` if any process raises, and
+        :class:`DeadlockError` if all live processes block forever.
+        """
+        if self._started:
+            raise SimulationError("run() may only be called once")
+        self._started = True
+        for proc in self.processes.values():
+            proc.state = ProcState.READY
+            proc.thread = threading.Thread(
+                target=self._thread_main, args=(proc,),
+                name=f"sim-{proc.name}", daemon=True)
+            proc.thread.start()
+
+        last: Optional[int] = None
+        try:
+            while True:
+                ready = [p.pid for p in self.processes.values()
+                         if p.state is ProcState.READY]
+                if not ready:
+                    blocked = {p.pid: p.block_reason or "?"
+                               for p in self.processes.values()
+                               if p.state is ProcState.BLOCKED}
+                    if blocked:
+                        raise DeadlockError(blocked)
+                    return  # everything DONE
+                self.switches += 1
+                if self.switches > self.max_switches:
+                    raise SimulationError(
+                        f"exceeded max_switches={self.max_switches}; "
+                        "likely livelock")
+                pid = self.policy.pick(ready, last)
+                last = pid
+                self._give_token(pid)
+                self._await_token()
+                proc = self.processes[pid]
+                if proc.error is not None:
+                    raise ProcessFailure(pid, proc.error) from proc.error
+        finally:
+            self._release_all_threads()
+
+    def _give_token(self, pid: int) -> None:
+        proc = self.processes[pid]
+        with self._cv:
+            proc.state = ProcState.RUNNING
+            self._token = pid
+            self._cv.notify_all()
+
+    def _await_token(self) -> None:
+        with self._cv:
+            while self._token is not self._DISPATCHER:
+                self._cv.wait()
+
+    def _release_all_threads(self) -> None:
+        """Unpark any threads still waiting (after an error) so they exit."""
+        with self._cv:
+            self._shutdown = True
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Process side (called from process threads, which hold the token).
+    # ------------------------------------------------------------------ #
+    def current(self) -> Optional[int]:
+        """Pid of the process currently holding the token (None if the
+        dispatcher holds it)."""
+        return self._token
+
+    def yield_control(self, pid: int) -> None:
+        """Voluntary preemption point.
+
+        Returns immediately when no other process is ready — the common
+        fast path that keeps per-access overhead low.
+        """
+        proc = self._require_running(pid)
+        proc.yields += 1
+        if not any(p.state is ProcState.READY for p in self.processes.values()):
+            return
+        proc.state = ProcState.READY
+        self._hand_back_and_wait(proc)
+
+    def block(self, pid: int, reason: str) -> None:
+        """Block the calling process until another process calls
+        :meth:`unblock` on it.  ``reason`` is reported on deadlock."""
+        proc = self._require_running(pid)
+        proc.state = ProcState.BLOCKED
+        proc.block_reason = reason
+        self._hand_back_and_wait(proc)
+        proc.block_reason = None
+
+    def others_ready(self, pid: int) -> bool:
+        """True if any process other than ``pid`` is currently runnable —
+        used by spin-style waits to detect that yielding cannot make
+        progress."""
+        return any(p.pid != pid and p.state is ProcState.READY
+                   for p in self.processes.values())
+
+    def unblock(self, pid: int) -> None:
+        """Make a blocked process runnable again (does not transfer control).
+
+        Safe to call on an already-runnable process; that is a no-op, which
+        simplifies broadcast wakeups (e.g. barrier releases).
+        """
+        proc = self.processes[pid]
+        if proc.state is ProcState.BLOCKED:
+            proc.state = ProcState.READY
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+    def _require_running(self, pid: int) -> SimProcess:
+        proc = self.processes.get(pid)
+        if proc is None:
+            raise SimulationError(f"unknown pid {pid}")
+        if self._token != pid:
+            raise SimulationError(
+                f"P{pid} called into the scheduler without holding the token")
+        return proc
+
+    def _hand_back_and_wait(self, proc: SimProcess) -> None:
+        """Give the token to the dispatcher and sleep until rescheduled."""
+        with self._cv:
+            self._token = self._DISPATCHER
+            self._cv.notify_all()
+            while self._token != proc.pid:
+                if self._shutdown:
+                    raise SystemExit  # unwind quietly after a failure
+                self._cv.wait()
+
+    def _thread_main(self, proc: SimProcess) -> None:
+        # Wait for the first dispatch.
+        with self._cv:
+            while self._token != proc.pid:
+                if self._shutdown:
+                    return
+                self._cv.wait()
+        try:
+            proc.result = proc.fn(*proc.args)
+        except SystemExit:  # shutdown unwind
+            return
+        except BaseException as exc:  # noqa: BLE001 - reported as ProcessFailure
+            proc.error = exc
+        finally:
+            with self._cv:
+                proc.state = ProcState.DONE
+                self._token = self._DISPATCHER
+                self._cv.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by the harness and tests.
+    # ------------------------------------------------------------------ #
+    @property
+    def num_processes(self) -> int:
+        return len(self.processes)
+
+    def clocks(self) -> List[VirtualClock]:
+        """Virtual clocks of all processes, in pid order."""
+        return [self.processes[pid].clock for pid in sorted(self.processes)]
+
+    def results(self) -> List[Any]:
+        """Return values of all process functions, in pid order."""
+        return [self.processes[pid].result for pid in sorted(self.processes)]

@@ -1,0 +1,55 @@
+"""FFT: numerical correctness, false sharing without races."""
+
+import cmath
+
+import pytest
+
+from repro.apps.fft import FftParams, _row_fft, fft
+from repro.apps.registry import APPLICATIONS
+from repro.dsm.cvm import CVM
+
+SPEC = APPLICATIONS["fft"]
+SMALL = FftParams(n=16, iterations=1)
+
+
+def test_row_fft_matches_dft():
+    row = [complex((3 * i) % 7 - 3, (i * i) % 5 - 2) for i in range(16)]
+    out = _row_fft(row)
+    for k in range(16):
+        expected = sum(row[j] * cmath.exp(-2j * cmath.pi * j * k / 16)
+                       for j in range(16))
+        assert out[k] == pytest.approx(expected, abs=1e-9)
+
+
+def test_row_fft_odd_size_fallback():
+    row = [complex(i, 0) for i in range(6)]  # 6 = 2 * 3: hits odd branch
+    out = _row_fft(row)
+    for k in range(6):
+        expected = sum(row[j] * cmath.exp(-2j * cmath.pi * j * k / 6)
+                       for j in range(6))
+        assert out[k] == pytest.approx(expected, abs=1e-9)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_dc_magnitude_independent_of_nprocs(nprocs):
+    res = CVM(SPEC.config(nprocs=nprocs)).run(fft, SMALL)
+    # P0 computes |DC|; all runs must agree.
+    single = CVM(SPEC.config(nprocs=1)).run(fft, SMALL)
+    assert res.results[0] == pytest.approx(single.results[0])
+
+
+def test_false_sharing_present_but_no_races():
+    res = SPEC.run(nprocs=8)
+    assert res.races == []
+    st = res.detector_stats
+    # The checksum page is written by all processes concurrently: page
+    # overlap exists, bitmaps are fetched, no race results (Table 3 FFT).
+    assert st.overlapping_pairs > 0
+    assert st.bitmaps_fetched > 0
+    assert 0 < st.intervals_used_fraction < 0.5
+    assert st.bitmaps_used_fraction < st.intervals_used_fraction
+
+
+def test_barrier_only_interval_structure():
+    res = SPEC.run(nprocs=4)
+    assert res.intervals_per_barrier == 2.0

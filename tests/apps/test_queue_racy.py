@@ -1,0 +1,61 @@
+"""The Figure 5 weak-memory queue example (Adve et al.)."""
+
+import pytest
+
+from repro.apps.queue_racy import (PUBLISHED_PTR, STALE_PTR, QueueParams,
+                                   queue_app)
+from repro.apps.registry import EXTRAS
+from repro.core.report import RaceKind, involves_symbol
+from repro.dsm.cvm import CVM
+
+SPEC = EXTRAS["queue_racy"]
+
+
+def run(params=QueueParams(), **overrides):
+    cfg = SPEC.config(nprocs=3, **overrides)
+    return CVM(cfg).run(queue_app, params)
+
+
+def test_stale_pointer_read_under_lrc():
+    """P2 reads the *stale* qPtr (37): the missing release/acquire means
+    P1's publication never propagated — weak memory in action."""
+    res = run()
+    assert res.results[1] == STALE_PTR
+
+
+def test_weak_memory_only_race_on_queue_cells():
+    """w2(37)–w3(37): the race that could not occur on a sequentially
+    consistent system (§6.4) does occur here and is reported."""
+    res = run()
+    cell_races = [r for r in res.races if involves_symbol(r, "queue_cells")]
+    assert any(r.kind is RaceKind.WRITE_WRITE for r in cell_races)
+    racy_offsets = {r.addr - _cells_addr(res) for r in cell_races}
+    assert STALE_PTR in racy_offsets  # cell 37 collides
+
+
+def _cells_addr(res):
+    # queue_cells base: resolve via any report's symbol arithmetic.
+    for r in res.races:
+        if r.symbol.startswith("queue_cells"):
+            off = 0 if "+" not in r.symbol else int(r.symbol.split("+")[1])
+            return r.addr - off
+    raise AssertionError("no queue_cells race found")
+
+
+def test_qptr_and_qempty_races_reported():
+    res = run()
+    assert any(involves_symbol(r, "qPtr") for r in res.races)
+    assert any(involves_symbol(r, "qEmpty") for r in res.races)
+
+
+def test_with_sync_reads_fresh_and_race_free():
+    res = run(QueueParams(with_sync=True))
+    assert res.results[1] == PUBLISHED_PTR
+    assert res.races == []
+
+
+def test_requires_exactly_three_processes():
+    # The app is written for 3 processes; other counts still run (extra
+    # processes idle) — just ensure 3 is the documented configuration.
+    res = run()
+    assert res.config.nprocs == 3

@@ -1,0 +1,53 @@
+"""SOR: numerical correctness and the paper's zero-sharing property."""
+
+import pytest
+
+from repro.apps.registry import APPLICATIONS
+from repro.apps.sor import SorParams, sor
+from repro.dsm.cvm import CVM
+
+SPEC = APPLICATIONS["sor"]
+SMALL = SorParams(rows=16, cols=64, iterations=3)
+
+
+def reference_sor(rows, cols, iterations):
+    """Sequential Jacobi with the same initialization and boundary rule."""
+    grid = [[100.0 if r in (0, rows - 1) else float(r % 7)
+             for _c in range(cols)] for r in range(rows)]
+    for _ in range(iterations):
+        new = [row[:] for row in grid]
+        for r in range(1, rows - 1):
+            for c in range(1, cols - 1):
+                new[r][c] = (grid[r - 1][c] + grid[r + 1][c]
+                             + grid[r][c - 1] + grid[r][c + 1]) / 4.0
+        grid = new
+    return grid
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_matches_sequential_reference(nprocs):
+    res = CVM(SPEC.config(nprocs=nprocs)).run(sor, SMALL)
+    ref = reference_sor(SMALL.rows, SMALL.cols, SMALL.iterations)
+    expected = ref[SMALL.rows // 2][SMALL.cols // 2]
+    assert res.results == [pytest.approx(expected)] * nprocs
+
+
+def test_no_races_and_zero_sharing():
+    res = SPEC.run(nprocs=8)
+    assert res.races == []
+    st = res.detector_stats
+    # Table 3's SOR row: literally zero unsynchronized sharing.
+    assert st.intervals_used == 0
+    assert st.bitmaps_fetched == 0
+    assert st.overlapping_pairs == 0
+
+
+def test_barrier_only_interval_structure():
+    res = SPEC.run(nprocs=4)
+    assert res.intervals_per_barrier == 2.0
+
+
+def test_result_independent_of_nprocs():
+    r2 = CVM(SPEC.config(nprocs=2)).run(sor, SMALL)
+    r4 = CVM(SPEC.config(nprocs=4)).run(sor, SMALL)
+    assert r2.results[0] == pytest.approx(r4.results[0])

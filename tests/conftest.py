@@ -1,0 +1,12 @@
+"""Shared pytest fixtures (importable helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import small_config
+
+
+@pytest.fixture
+def config():
+    return small_config()

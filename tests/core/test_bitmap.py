@@ -1,0 +1,133 @@
+"""Word-granularity bitmaps, validated against a Python-set reference."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitmap import Bitmap
+
+WIDTH = 64
+indices = st.integers(min_value=0, max_value=WIDTH - 1)
+index_sets = st.sets(indices, max_size=WIDTH)
+
+
+def from_set(bits):
+    bm = Bitmap(WIDTH)
+    for i in bits:
+        bm.set(i)
+    return bm
+
+
+def test_set_test_basic():
+    bm = Bitmap(16)
+    bm.set(0)
+    bm.set(15)
+    assert bm.test(0) and bm.test(15)
+    assert not bm.test(7)
+    assert bm.count() == 2
+    assert bm.any()
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        Bitmap(0)
+    with pytest.raises(ValueError):
+        Bitmap(12)  # not multiple of 8
+
+
+def test_index_bounds():
+    bm = Bitmap(8)
+    with pytest.raises(IndexError):
+        bm.set(8)
+    with pytest.raises(IndexError):
+        bm.test(-1)
+
+
+def test_set_range_spanning_bytes():
+    bm = Bitmap(32)
+    bm.set_range(5, 20)
+    assert all(bm.test(i) == (5 <= i < 25) for i in range(32))
+
+
+def test_set_range_within_single_byte():
+    bm = Bitmap(16)
+    bm.set_range(1, 3)
+    assert [i for i in range(16) if bm.test(i)] == [1, 2, 3]
+
+
+def test_set_range_empty_and_bounds():
+    bm = Bitmap(16)
+    bm.set_range(3, 0)
+    assert not bm.any()
+    with pytest.raises(IndexError):
+        bm.set_range(10, 7)
+    with pytest.raises(ValueError):
+        bm.set_range(0, -1)
+
+
+def test_overlaps_and_intersection():
+    a = from_set({1, 5, 9})
+    b = from_set({5, 9, 20})
+    assert a.overlaps(b)
+    assert a.intersection_bits(b) == [5, 9]
+    c = from_set({0, 2})
+    assert not a.overlaps(c)
+    assert a.intersection_bits(c) == []
+
+
+def test_width_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Bitmap(8).overlaps(Bitmap(16))
+
+
+def test_bytes_roundtrip_and_copy():
+    a = from_set({0, 13, 63})
+    b = Bitmap.from_bytes(a.to_bytes())
+    assert a == b
+    c = a.copy()
+    c.set(1)
+    assert not a.test(1)
+
+
+def test_union_update():
+    a = from_set({1, 2})
+    a.union_update(from_set({2, 3}))
+    assert sorted(a.iter_set_bits()) == [1, 2, 3]
+
+
+def test_clear():
+    a = from_set({1, 2, 3})
+    a.clear()
+    assert not a.any() and a.count() == 0
+
+
+def test_nbytes():
+    assert Bitmap(64).nbytes == 8
+
+
+@given(index_sets)
+def test_count_matches_reference(bits):
+    assert from_set(bits).count() == len(bits)
+    assert sorted(from_set(bits).iter_set_bits()) == sorted(bits)
+
+
+@given(index_sets, index_sets)
+def test_intersection_matches_reference(xs, ys):
+    a, b = from_set(xs), from_set(ys)
+    assert a.overlaps(b) == bool(xs & ys)
+    assert a.intersection_bits(b) == sorted(xs & ys)
+
+
+@given(indices, st.integers(min_value=0, max_value=WIDTH))
+def test_set_range_matches_reference(start, count):
+    count = min(count, WIDTH - start)
+    bm = Bitmap(WIDTH)
+    bm.set_range(start, count)
+    assert sorted(bm.iter_set_bits()) == list(range(start, start + count))
+
+
+@given(index_sets, index_sets)
+def test_union_matches_reference(xs, ys):
+    a = from_set(xs)
+    a.union_update(from_set(ys))
+    assert sorted(a.iter_set_bits()) == sorted(xs | ys)

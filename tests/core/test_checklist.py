@@ -1,0 +1,80 @@
+"""Page-overlap winnowing and bitmap-need computation."""
+
+from repro.core.checklist import (bitmaps_needed, build_check_list,
+                                  overlap_work, page_overlaps)
+from repro.dsm.interval import Interval
+from repro.dsm.vector_clock import VectorClock
+
+
+def iv(pid, index, writes=(), reads=()):
+    rec = Interval(pid, index, VectorClock([0, 0]), 0, 16)
+    for p in writes:
+        rec.record_write(p, 0)
+    for p in reads:
+        rec.record_read(p, 0)
+    return rec
+
+
+def test_write_write_overlap():
+    a, b = iv(0, 1, writes=[3]), iv(1, 1, writes=[3])
+    [ov] = page_overlaps(a, b)
+    assert ov.page == 3 and ov.write_write
+    assert not ov.a_read_b_write and not ov.a_write_b_read
+
+
+def test_read_write_overlap_direction():
+    a, b = iv(0, 1, reads=[5]), iv(1, 1, writes=[5])
+    [ov] = page_overlaps(a, b)
+    assert ov.a_read_b_write and not ov.a_write_b_read and not ov.write_write
+
+
+def test_read_read_excluded():
+    a, b = iv(0, 1, reads=[2]), iv(1, 1, reads=[2])
+    assert page_overlaps(a, b) == []
+
+
+def test_disjoint_pages_no_overlap():
+    a, b = iv(0, 1, writes=[1], reads=[2]), iv(1, 1, writes=[3], reads=[4])
+    assert page_overlaps(a, b) == []
+
+
+def test_multiple_overlap_pages_sorted():
+    a = iv(0, 1, writes=[9, 2], reads=[5])
+    b = iv(1, 1, writes=[5, 2], reads=[9])
+    pages = [ov.page for ov in page_overlaps(a, b)]
+    assert pages == [2, 5, 9]
+
+
+def test_build_check_list_filters_empty():
+    a, b = iv(0, 1, writes=[1]), iv(1, 1, writes=[2])
+    c, d = iv(0, 2, writes=[7]), iv(1, 2, reads=[7])
+    entries = build_check_list([(a, b), (c, d)])
+    assert len(entries) == 1
+    assert entries[0].pages[0].page == 7
+
+
+def test_bitmaps_needed_minimal_set():
+    a = iv(0, 1, writes=[3], reads=[8])
+    b = iv(1, 1, writes=[3, 8])
+    entries = build_check_list([(a, b)])
+    needed = bitmaps_needed(entries)
+    assert needed == {
+        (0, 1, 3, "write"), (1, 1, 3, "write"),   # write-write on page 3
+        (0, 1, 8, "read"), (1, 1, 8, "write"),    # read-write on page 8
+    }
+
+
+def test_bitmaps_needed_deduplicates_across_entries():
+    a = iv(0, 1, writes=[3])
+    b = iv(1, 1, writes=[3])
+    c = iv(2, 1, writes=[3])
+    entries = build_check_list([(a, b), (a, c)])
+    needed = bitmaps_needed(entries)
+    assert (0, 1, 3, "write") in needed
+    assert len(needed) == 3  # a's bitmap requested once
+
+
+def test_overlap_work_linear_in_list_sizes():
+    a = iv(0, 1, writes=[1, 2, 3], reads=[4])
+    b = iv(1, 1, writes=[5], reads=[6, 7])
+    assert overlap_work(a, b) == 4 + 3

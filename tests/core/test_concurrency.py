@@ -1,0 +1,78 @@
+"""Concurrent-interval pair search."""
+
+from repro.core.concurrency import (PairSearchStats, find_concurrent_pairs,
+                                    group_by_pid)
+from repro.dsm.interval import Interval
+from repro.dsm.vector_clock import VectorClock
+
+
+def iv(pid, index, vc, epoch=0):
+    return Interval(pid, index, VectorClock(vc), epoch, 16)
+
+
+def test_group_by_pid_sorted():
+    recs = [iv(1, 2, [0, 2]), iv(0, 1, [1, 0]), iv(1, 1, [0, 1])]
+    grouped = group_by_pid(recs)
+    assert [r.index for r in grouped[1]] == [1, 2]
+    assert [r.index for r in grouped[0]] == [1]
+
+
+def test_same_process_never_paired():
+    stats = PairSearchStats()
+    recs = [iv(0, 1, [1, 0]), iv(0, 2, [2, 0])]
+    assert list(find_concurrent_pairs(recs, stats)) == []
+    assert stats.comparisons == 0
+
+
+def test_finds_concurrent_cross_process_pairs():
+    stats = PairSearchStats()
+    recs = [iv(0, 1, [1, 0]), iv(1, 1, [0, 1])]
+    pairs = list(find_concurrent_pairs(recs, stats))
+    assert len(pairs) == 1
+    assert stats.comparisons == 1
+    assert stats.concurrent_pairs == 1
+
+
+def test_ordered_pairs_excluded():
+    # P1's interval has seen P0's (vc[0] >= 1): ordered.
+    stats = PairSearchStats()
+    recs = [iv(0, 1, [1, 0]), iv(1, 1, [1, 1])]
+    assert list(find_concurrent_pairs(recs, stats)) == []
+    assert stats.comparisons == 1
+    assert stats.concurrent_pairs == 0
+
+
+def test_pair_order_deterministic():
+    recs = [iv(2, 1, [0, 0, 1]), iv(0, 1, [1, 0, 0]), iv(1, 1, [0, 1, 0])]
+    stats = PairSearchStats()
+    pairs = [(a.pid, b.pid) for a, b in find_concurrent_pairs(recs, stats)]
+    assert pairs == [(0, 1), (0, 2), (1, 2)]
+
+
+def test_comparison_count_quadratic_bound():
+    """O(i^2 p^2): with i intervals per proc and p procs, at most
+    (p choose 2) * i^2 comparisons (paper §4)."""
+    recs = []
+    for pid in range(3):
+        for idx in range(1, 5):
+            vc = [0, 0, 0]
+            vc[pid] = idx
+            recs.append(iv(pid, idx, vc))
+    stats = PairSearchStats()
+    list(find_concurrent_pairs(recs, stats))
+    assert stats.comparisons == 3 * 4 * 4  # 3 proc pairs x 4 x 4
+    assert stats.intervals == 12
+
+
+def test_mixed_ordering_chain():
+    """A release/acquire chain: a ≺ b ≺ c, with d concurrent to all."""
+    a = iv(0, 1, [1, 0, 0])
+    b = iv(1, 1, [1, 1, 0])   # saw a
+    c = iv(0, 2, [2, 1, 0])   # saw b
+    d = iv(2, 1, [0, 0, 1])
+    stats = PairSearchStats()
+    pairs = {(x.pid, x.index, y.pid, y.index)
+             for x, y in find_concurrent_pairs([a, b, c, d], stats)}
+    assert (0, 1, 1, 1) not in pairs
+    assert (0, 2, 1, 1) not in pairs
+    assert {(0, 1, 2, 1), (0, 2, 2, 1), (1, 1, 2, 1)} <= pairs

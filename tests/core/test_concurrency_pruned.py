@@ -1,0 +1,86 @@
+"""The pruned (binary-search) pair search: equivalence and savings."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concurrency import (PairSearchStats, find_concurrent_pairs,
+                                    find_concurrent_pairs_pruned)
+from repro.dsm.interval import Interval
+from repro.dsm.vector_clock import VectorClock
+
+
+def random_epoch(seed: int, nprocs: int, per_proc: int):
+    """Generate a causally-consistent epoch: each process's vector clock
+    grows monotonically, occasionally observing other processes' closed
+    intervals (like lock traffic would)."""
+    rng = random.Random(seed)
+    seen = [[0] * nprocs for _ in range(nprocs)]
+    closed = [0] * nprocs
+    intervals = []
+    for _round in range(per_proc):
+        for pid in range(nprocs):
+            # Occasionally acquire from a random other process.
+            if rng.random() < 0.4:
+                other = rng.randrange(nprocs)
+                if other != pid:
+                    for r in range(nprocs):
+                        seen[pid][r] = max(seen[pid][r], seen[other][r])
+                    seen[pid][other] = max(seen[pid][other], closed[other])
+            seen[pid][pid] += 1
+            closed[pid] = seen[pid][pid]
+            intervals.append(Interval(pid, seen[pid][pid],
+                                      VectorClock(seen[pid]), 0, 16))
+    return intervals
+
+
+def pair_keys(pairs):
+    return {((a.pid, a.index), (b.pid, b.index)) for a, b in pairs}
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_pruned_equals_naive(seed):
+    intervals = random_epoch(seed, nprocs=4, per_proc=8)
+    naive = pair_keys(find_concurrent_pairs(intervals, PairSearchStats()))
+    pruned = pair_keys(
+        find_concurrent_pairs_pruned(intervals, PairSearchStats()))
+    assert naive == pruned
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6),
+       st.integers(min_value=2, max_value=5),
+       st.integers(min_value=1, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_pruned_equals_naive_property(seed, nprocs, per_proc):
+    intervals = random_epoch(seed, nprocs, per_proc)
+    naive = pair_keys(find_concurrent_pairs(intervals, PairSearchStats()))
+    pruned = pair_keys(
+        find_concurrent_pairs_pruned(intervals, PairSearchStats()))
+    assert naive == pruned
+
+
+def test_pruned_needs_fewer_comparisons_on_ordered_epochs():
+    """Heavily-synchronized epochs (long happens-before chains) are where
+    the bypass pays: O(i log i) vs O(i^2) comparisons."""
+    intervals = random_epoch(7, nprocs=4, per_proc=40)
+    naive_stats, pruned_stats = PairSearchStats(), PairSearchStats()
+    list(find_concurrent_pairs(intervals, naive_stats))
+    list(find_concurrent_pairs_pruned(intervals, pruned_stats))
+    assert pruned_stats.comparisons < naive_stats.comparisons / 3
+    assert pruned_stats.concurrent_pairs == naive_stats.concurrent_pairs
+
+
+def test_pruned_on_fully_concurrent_epoch():
+    """No synchronization at all: every cross-process pair is concurrent;
+    the pruned search must still enumerate all of them."""
+    intervals = []
+    for pid in range(3):
+        vc = [0, 0, 0]
+        for idx in range(1, 4):
+            vc[pid] = idx
+            intervals.append(Interval(pid, idx, VectorClock(vc), 0, 16))
+    stats = PairSearchStats()
+    pairs = pair_keys(find_concurrent_pairs_pruned(intervals, stats))
+    assert len(pairs) == 3 * 9  # 3 proc pairs x 3 x 3

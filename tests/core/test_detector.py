@@ -1,0 +1,205 @@
+"""The barrier-time detection algorithm, end to end on small programs."""
+
+import pytest
+
+from tests.helpers import online_race_keys, run_app, run_app_with_system
+
+from repro.core.report import RaceKind, involves_symbol
+
+
+def test_write_write_race_reported_once_per_pair():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        env.store(x, env.pid)
+        env.barrier()
+
+    res = run_app(app, nprocs=4)
+    ww = [r for r in res.races if r.kind is RaceKind.WRITE_WRITE]
+    assert len(ww) == 6  # C(4,2) pairs, deduplicated
+    assert all(r.symbol == "x" for r in ww)
+
+
+def test_read_write_race_reported():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 1)
+        else:
+            env.load(x)
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    assert len(res.races) == 1
+    r = res.races[0]
+    assert r.kind is RaceKind.READ_WRITE
+    assert {r.a.access, r.b.access} == {"read", "write"}
+
+
+def test_read_read_is_never_a_race():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        env.load(x)
+        env.barrier()
+
+    res = run_app(app, nprocs=4)
+    assert res.races == []
+
+
+def test_false_sharing_not_a_race_but_uses_bitmaps():
+    def app(env):
+        x = env.malloc(16, name="x")
+        env.barrier()
+        env.store(x + env.pid, 1)  # same page, disjoint words
+        env.barrier()
+
+    res = run_app(app, nprocs=4)
+    assert res.races == []
+    st = res.detector_stats
+    assert st.overlapping_pairs > 0      # page-level overlap happened
+    assert st.bitmaps_fetched > 0        # bitmaps were needed to decide
+    assert st.intervals_used > 0
+
+
+def test_disjoint_pages_skip_bitmaps_entirely():
+    """Paper §3.2: if page lists do not overlap, no bitmap comparison is
+    performed even though the intervals are concurrent."""
+    def app(env):
+        x = env.malloc(4 * 16, name="x", page_aligned=True)
+        env.barrier()
+        env.store(x + env.pid * 16, 1)   # one page per process
+        env.barrier()
+
+    res = run_app(app, nprocs=4)
+    st = res.detector_stats
+    assert res.races == []
+    assert st.concurrent_pairs > 0
+    assert st.overlapping_pairs == 0
+    assert st.bitmaps_fetched == 0
+    assert st.bitmap_comparisons == 0
+
+
+def test_race_detected_at_word_granularity():
+    """Two processes write adjacent words: no race; the same word: race."""
+    def app(env):
+        x = env.malloc(2, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 1)
+            env.store(x + 1, 1)
+        else:
+            env.store(x + 1, 2)  # collides on x+1 only
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    assert len(res.races) == 1
+    assert res.races[0].addr == res.races[0].page * 16 + 1
+    assert res.races[0].symbol == "x+1"
+
+
+def test_lock_ordering_suppresses_race():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        with env.locked(1):
+            env.store(x, env.load(x) + 1)
+        env.barrier()
+
+    res = run_app(app, nprocs=4)
+    assert res.races == []
+
+
+def test_partial_synchronization_still_races():
+    """One unsynchronized writer among locked updaters: races against all
+    of them (the Figure 1 w1-r2 situation generalized)."""
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, -1)   # no lock!
+        else:
+            with env.locked(1):
+                env.store(x, env.load(x) + 1)
+        env.barrier()
+
+    res = run_app(app, nprocs=4)
+    assert len(res.races) > 0
+    # P0 participates in every race.
+    assert all(0 in (r.a.pid, r.b.pid) for r in res.races)
+
+
+def test_races_confined_to_epoch():
+    """Accesses in different barrier epochs never race (the barrier
+    orders them); the same pattern within one epoch does."""
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 1)
+        env.barrier()          # ordering barrier between the accesses
+        if env.pid == 1:
+            env.store(x, 2)
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    assert res.races == []
+
+
+def test_detector_stats_accumulate():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        env.store(x, env.pid)
+        env.barrier()
+        env.store(x, env.pid)
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    st = res.detector_stats
+    assert st.epochs_checked >= 3
+    assert st.races_found == len(res.races) == 2
+    assert st.interval_comparisons > 0
+    assert 0 <= st.intervals_used_fraction <= 1
+    assert 0 <= st.bitmaps_used_fraction <= 1
+
+
+def test_race_report_formatting_and_keys():
+    def app(env):
+        x = env.malloc(1, name="hotspot")
+        env.barrier()
+        env.store(x, env.pid)
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    r = res.races[0]
+    text = r.format()
+    assert "DATA RACE" in text and "hotspot" in text
+    assert involves_symbol(r, "hotspot")
+    # Key is orientation-independent.
+    assert r.key() == r.key()
+    keys = online_race_keys(res)
+    assert len(keys) == len(res.races)
+
+
+def test_epoch_history_recorded():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        env.store(x, env.pid)     # racy epoch
+        env.barrier()
+        env.load(x)               # quiet epoch
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    history = res.detector_stats.epoch_history
+    assert len(history) == res.detector_stats.epochs_checked
+    racy = [h for h in history if h.races > 0]
+    assert len(racy) == 1
+    assert racy[0].check_list_entries >= 1
+    assert racy[0].bitmaps_fetched >= 2
+    # Aggregates equal the sum of the history.
+    assert sum(h.comparisons for h in history) == \
+        res.detector_stats.interval_comparisons
+    assert sum(h.races for h in history) == res.detector_stats.races_found

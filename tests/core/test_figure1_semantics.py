@@ -1,0 +1,81 @@
+"""The paper's Figure 1: actual vs feasible races, and lock ordering.
+
+P1 writes x under lock L.  P2 performs a conditional unsynchronized read
+(r1, executed only if ``flag``) and an unconditional unsynchronized read
+(r2); a third process reads x under the lock (r3).
+
+* w1–r2 is an *actual* race in every execution and must be reported;
+* w1–r1 is feasible but, when ``flag`` is false, does not occur — a
+  dynamic detector must stay silent about it (the paper's whole point
+  about actual vs feasible races, §2);
+* w1–r3 is ordered by the unlock/lock pair — whichever order the lock is
+  granted in — and must never be reported.
+
+The unsynchronized reader performs no synchronization between barriers,
+so its interval is concurrent with the writer's critical section under
+every legal scheduling.
+"""
+
+from tests.helpers import run_app
+
+
+def figure1_app(env, flag: bool):
+    x = env.malloc(1, name="x")
+    env.barrier()
+    if env.pid == 0:
+        with env.locked(1):                       # Lock(L); w1(x); Unlock(L)
+            env.store(x, 42, site="fig1:w1")
+    elif env.pid == 1:
+        if flag:
+            env.load(x, site="fig1:r1")           # conditional unsync read
+        env.load(x, site="fig1:r2")               # unconditional unsync read
+    elif env.pid == 2:
+        with env.locked(1):
+            env.load(x, site="fig1:r3")           # lock-ordered read
+    env.barrier()
+
+
+def _reader_pids(res):
+    return {s.pid for r in res.races for s in (r.a, r.b) if s.access == "read"}
+
+
+def test_flag_false_reports_only_w1_r2():
+    res = run_app(figure1_app, False, nprocs=3)
+    assert len(res.races) == 1
+    r = res.races[0]
+    assert r.kind.value == "read-write"
+    assert r.symbol == "x"
+    # The racing read belongs to the unsynchronized process, never to the
+    # lock-ordered reader.
+    assert _reader_pids(res) == {1}
+
+
+def test_flag_true_still_one_report_per_interval_pair():
+    """r1 and r2 share P2's (single, synchronization-free) interval, so
+    Definition 2 yields the same (word, interval-pair) — one report, the
+    same one an execution with flag false produces."""
+    res = run_app(figure1_app, True, nprocs=3)
+    assert len(res.races) == 1
+    assert _reader_pids(res) == {1}
+
+
+def test_r3_never_flagged_in_either_variant():
+    for flag in (False, True):
+        res = run_app(figure1_app, flag, nprocs=3)
+        assert 2 not in _reader_pids(res)
+
+
+def test_lock_ordered_pair_alone_is_silent():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            with env.locked(1):
+                env.store(x, 42)
+        elif env.pid == 1:
+            with env.locked(1):
+                env.load(x)
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    assert res.races == []

@@ -1,0 +1,68 @@
+"""First-race filtering (§6.4): post-hoc filter and online mode."""
+
+import pytest
+
+from tests.helpers import run_app
+
+from repro.core.first_race import filter_first_races, first_epoch_with_races
+from repro.core.report import IntervalRef, RaceKind, RaceReport
+
+
+def make_report(epoch, addr=0):
+    return RaceReport(
+        kind=RaceKind.WRITE_WRITE, addr=addr, symbol="x", page=0,
+        offset=addr, epoch=epoch,
+        a=IntervalRef(0, 1, "write"), b=IntervalRef(1, 1, "write"))
+
+
+def test_filter_keeps_earliest_epoch_only():
+    reports = [make_report(3), make_report(1, 1), make_report(1, 2),
+               make_report(5)]
+    first = filter_first_races(reports)
+    assert [r.epoch for r in first] == [1, 1]
+
+
+def test_filter_empty():
+    assert filter_first_races([]) == []
+    with pytest.raises(ValueError):
+        first_epoch_with_races([])
+
+
+def _two_epoch_racy_app(env):
+    x = env.malloc(1, name="x")
+    y = env.malloc(1, name="y", page_aligned=True)
+    env.barrier()
+    env.store(x, env.pid)       # epoch A: races on x
+    env.barrier()
+    env.store(y, env.pid)       # epoch B: races on y
+    env.barrier()
+
+
+def test_online_first_races_only_suppresses_later_epochs():
+    full = run_app(_two_epoch_racy_app, nprocs=2)
+    assert {r.symbol for r in full.races} == {"x", "y"}
+
+    first_only = run_app(_two_epoch_racy_app, nprocs=2,
+                         first_races_only=True)
+    assert {r.symbol for r in first_only.races} == {"x"}
+    assert first_only.detector_stats.races_suppressed_not_first > 0
+
+
+def test_online_filter_equivalent_to_posthoc():
+    full = run_app(_two_epoch_racy_app, nprocs=2)
+    first_only = run_app(_two_epoch_racy_app, nprocs=2,
+                         first_races_only=True)
+    posthoc = filter_first_races(full.races)
+    assert {r.key() for r in posthoc} == {r.key() for r in first_only.races}
+
+
+def test_races_within_first_epoch_all_kept():
+    def app(env):
+        x = env.malloc(2, name="x")
+        env.barrier()
+        env.store(x, env.pid)
+        env.store(x + 1, env.pid)
+        env.barrier()
+
+    res = run_app(app, nprocs=2, first_races_only=True)
+    assert {r.addr for r in res.races} == {0, 1}

@@ -1,0 +1,46 @@
+"""Race report structure, keys and formatting."""
+
+from repro.core.report import (IntervalRef, RaceKind, RaceReport,
+                               involves_symbol)
+
+
+def make(kind=RaceKind.WRITE_WRITE, addr=5, symbol="x+1",
+         a=(0, 3, "write"), b=(1, 2, "write")):
+    return RaceReport(kind=kind, addr=addr, symbol=symbol, page=0,
+                      offset=addr, epoch=1,
+                      a=IntervalRef(*a), b=IntervalRef(*b))
+
+
+def test_key_is_orientation_independent():
+    fwd = make(a=(0, 3, "write"), b=(1, 2, "write"))
+    rev = make(a=(1, 2, "write"), b=(0, 3, "write"))
+    assert fwd.key() == rev.key()
+
+
+def test_key_distinguishes_kind_addr_and_sides():
+    base = make()
+    assert base.key() != make(kind=RaceKind.READ_WRITE,
+                              a=(0, 3, "read")).key()
+    assert base.key() != make(addr=6).key()
+    assert base.key() != make(b=(1, 4, "write")).key()
+
+
+def test_format_mentions_everything_actionable():
+    text = make().format()
+    for token in ("DATA RACE", "write-write", "x+1", "addr=5", "epoch 1",
+                  "P0 interval 3", "P1 interval 2"):
+        assert token in text
+    assert str(make()) == make().format()
+
+
+def test_involves_symbol_matches_offsets():
+    r = make(symbol="grid+12")
+    assert involves_symbol(r, "grid")
+    assert not involves_symbol(r, "grid2")
+    exact = make(symbol="grid")
+    assert involves_symbol(exact, "grid")
+    assert not involves_symbol(make(symbol="gridlock"), "grid")
+
+
+def test_interval_ref_str():
+    assert str(IntervalRef(2, 7, "read")) == "P2 interval 7 (read)"

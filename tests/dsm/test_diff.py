@@ -1,0 +1,72 @@
+"""Twin/diff machinery, including the §6.5 write-detection weakness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsm.diff import apply_diff, create_diff, diff_to_bitmap
+
+pages = st.lists(st.integers(min_value=-5, max_value=5),
+                 min_size=8, max_size=64).filter(lambda x: len(x) % 8 == 0)
+
+
+def test_create_diff_finds_changes():
+    twin = [0, 1, 2, 3]
+    cur = [0, 9, 2, 7]
+    assert create_diff(twin, cur) == [(1, 9), (3, 7)]
+
+
+def test_empty_diff_when_identical():
+    assert create_diff([1, 2], [1, 2]) == []
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        create_diff([1], [1, 2])
+
+
+def test_apply_diff_roundtrip():
+    twin = [0] * 8
+    cur = [0, 5, 0, 0, 7, 0, 0, 1]
+    diff = create_diff(twin, cur)
+    out = list(twin)
+    apply_diff(out, diff)
+    assert out == cur
+
+
+def test_apply_diff_out_of_range():
+    with pytest.raises(ValueError):
+        apply_diff([0, 0], [(5, 1)])
+
+
+def test_diff_to_bitmap_sets_changed_words():
+    bm = diff_to_bitmap([(1, 9), (6, 2)], 8)
+    assert bm.test(1) and bm.test(6)
+    assert not bm.test(0) and not bm.test(7)
+
+
+def test_same_value_overwrite_invisible():
+    """The §6.5 caveat: overwriting a word with the same value produces no
+    diff entry, so diff-derived write detection misses it."""
+    twin = [42, 0]
+    cur = [42, 0]  # the program wrote 42 over 42
+    diff = create_diff(twin, cur)
+    assert diff == []
+    assert not diff_to_bitmap(diff, 8).any()
+
+
+@given(pages, st.data())
+def test_roundtrip_property(page, data):
+    """apply(twin, create_diff(twin, cur)) == cur for arbitrary edits."""
+    edits = data.draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=len(page) - 1),
+                  st.integers(min_value=-5, max_value=5)), max_size=10))
+    cur = list(page)
+    for off, val in edits:
+        cur[off] = val
+    diff = create_diff(page, cur)
+    out = list(page)
+    apply_diff(out, diff)
+    assert out == cur
+    # And the diff is minimal: offsets only where values actually differ.
+    assert all(page[off] != val for off, val in diff)

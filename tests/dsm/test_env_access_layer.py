@@ -1,0 +1,131 @@
+"""The Env access layer: range semantics, tracking granularity, costs."""
+
+import pytest
+
+from tests.helpers import run_app, run_app_with_system
+
+from repro.sim.costmodel import CostCategory
+
+
+def test_range_race_detected_at_overlapping_words_only():
+    """Two range writes overlapping in [8, 12) race exactly there."""
+    def app(env):
+        x = env.malloc(16, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store_range(x, [1] * 12)       # words 0..11
+        else:
+            env.store_range(x + 8, [2] * 8)    # words 8..15
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    assert sorted(r.addr for r in res.races) == [8, 9, 10, 11]
+
+
+def test_range_spanning_pages_tracked_per_page():
+    def app(env):
+        x = env.malloc(40, name="x")   # pages 0..2 with 16-word pages
+        env.barrier()
+        if env.pid == 0:
+            env.store_range(x, list(range(40)))
+        else:
+            env.load(x + 33)           # one word on the third page
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    assert len(res.races) == 1
+    assert res.races[0].addr == 33
+
+
+def test_empty_ranges_are_noops():
+    def app(env):
+        x = env.malloc(4, name="x")
+        env.store_range(x, [])
+        assert env.load_range(x, 0) == []
+        return True
+
+    res = run_app(app, nprocs=1)
+    assert res.results == [True]
+
+
+def test_single_word_range_equivalent_to_scalar():
+    def app(env):
+        x = env.malloc(2, name="x")
+        env.store_range(x, [42])
+        return env.load(x)
+
+    assert run_app(app, nprocs=1).results == [42]
+
+
+def test_access_counters_count_words_not_calls():
+    def app(env):
+        x = env.malloc(32, name="x")
+        env.store_range(x, [0] * 32)   # 32 instrumented accesses
+        env.load(x)                    # +1
+
+    res = run_app(app, nprocs=1)
+    assert res.shared_instr_calls == 33
+
+
+def test_proc_call_cost_scales_with_words():
+    def app(env):
+        x = env.malloc(32, name="x")
+        env.store_range(x, [0] * 32)
+
+    _sys, res = run_app_with_system(app, nprocs=1)
+    ledger = res.aggregate_ledger()
+    cm = res.config.cost_model
+    assert ledger.totals[CostCategory.PROC_CALL] == \
+        pytest.approx(32 * cm.proc_call)
+    assert ledger.totals[CostCategory.ACCESS_CHECK] == \
+        pytest.approx(32 * cm.access_check_shared)
+
+
+def test_site_annotation_reaches_reports_via_watch():
+    from repro.dsm.cvm import CVM
+    from tests.helpers import small_config
+
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        env.store(x, env.pid, site="here:42")
+        env.barrier()
+
+    cfg = small_config(nprocs=2)
+    system = CVM(cfg)
+    system.pc_watch = {0: []}
+    system.run(app)
+    sites = {hit[2] for hit in system.pc_watch[0]}
+    assert "here:42" in sites
+
+
+def test_pause_creates_no_ordering():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 1)
+        else:
+            env.pause(5)
+            env.load(x)
+        env.barrier()
+
+    res = run_app(app, nprocs=2)
+    assert len(res.races) == 1  # pause did not order the accesses
+
+
+def test_compute_charges_base_only():
+    def app(env):
+        env.compute(100)
+
+    # With detection off there is no overhead of any kind; with detection
+    # on, compute() itself still adds nothing beyond the detector's fixed
+    # per-epoch work (no per-unit instrumentation).
+    _sys, off = run_app_with_system(app, nprocs=1, detection=False)
+    assert off.aggregate_ledger().overhead == pytest.approx(0.0)
+
+    _sys, small = run_app_with_system(app, nprocs=1)
+    _sys, large = run_app_with_system(lambda env: env.compute(100_000),
+                                      nprocs=1)
+    assert large.aggregate_ledger().overhead == \
+        pytest.approx(small.aggregate_ledger().overhead)

@@ -1,0 +1,138 @@
+"""Event (one-shot flag) synchronization: CVM's generalized sync."""
+
+import pytest
+
+from tests.helpers import online_race_keys, run_app, run_app_with_system
+
+from repro.errors import DeadlockError, SynchronizationError
+
+
+def test_event_orders_producer_consumer():
+    """The canonical flag idiom: producer writes, sets; consumer waits,
+    reads — ordered, race-free, and the fresh value arrives."""
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 123)
+            env.set_event(1)
+            return None
+        env.wait_event(1)
+        return env.load(x)
+
+    res = run_app(app, nprocs=2)
+    assert res.results[1] == 123
+    assert res.races == []
+
+
+def test_event_without_wait_leaves_race():
+    """Same producer, but the consumer skips the wait: the race is back —
+    exactly the Figure 5 'missing acquire' situation."""
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 123)
+            env.set_event(1)
+            return None
+        env.pause(3)       # scheduling only: no ordering
+        return env.load(x)
+
+    res = run_app(app, nprocs=2)
+    assert len(res.races) == 1
+    assert res.races[0].kind.value == "read-write"
+
+
+def test_wait_after_set_does_not_block():
+    def app(env):
+        env.barrier()
+        if env.pid == 0:
+            env.set_event(9)
+        env.barrier()
+        if env.pid == 1:
+            env.wait_event(9)  # already set: immediate acquire
+        env.barrier()
+        return True
+
+    res = run_app(app, nprocs=2)
+    assert all(res.results)
+
+
+def test_multiple_waiters_all_released_and_ordered():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 7)
+            env.set_event(2)
+            return None
+        env.wait_event(2)
+        return env.load(x)
+
+    res = run_app(app, nprocs=4)
+    assert res.results[1:] == [7, 7, 7]
+    assert res.races == []
+
+
+def test_double_set_rejected():
+    def app(env):
+        env.set_event(1)
+
+    with pytest.raises(Exception) as exc:
+        run_app(app, nprocs=2)
+    assert isinstance(exc.value.original, SynchronizationError)
+
+
+def test_wait_never_set_deadlocks():
+    def app(env):
+        if env.pid == 0:
+            env.wait_event(5)
+
+    with pytest.raises(DeadlockError):
+        run_app(app, nprocs=2)
+
+
+def test_event_chain_transitive_ordering():
+    """P0 -> (event 1) -> P1 -> (event 2) -> P2: transitivity of
+    happens-before-1 through two different events."""
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 1)
+            env.set_event(1)
+        elif env.pid == 1:
+            env.wait_event(1)
+            env.store(x, env.load(x) + 1)
+            env.set_event(2)
+        elif env.pid == 2:
+            env.wait_event(2)
+            return env.load(x)
+        return None
+
+    res = run_app(app, nprocs=3)
+    assert res.results[2] == 2
+    assert res.races == []
+
+
+def test_event_agrees_with_oracle():
+    def app(env):
+        x = env.malloc(2, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 1)        # ordered by the event
+            env.store(x + 1, 1)    # racy: P1 writes it unsynchronized
+            env.set_event(3)
+        else:
+            env.store(x + 1, 2)
+            env.wait_event(3)
+            env.load(x)
+        return None
+
+    system, res = run_app_with_system(app, nprocs=2,
+                                      track_access_trace=True)
+    from repro.core.baseline import HappensBeforeDetector
+    oracle = HappensBeforeDetector(system.store.vc_log).races(
+        res.access_trace)
+    assert online_race_keys(res) == oracle
+    assert {addr for _k, addr, _s in oracle} == {1}  # only x+1 races

@@ -1,0 +1,89 @@
+"""Interval records: notices, bitmaps, ordering, wire sizes."""
+
+import pytest
+
+from repro.dsm.interval import Interval, intervals_unseen_by
+from repro.dsm.vector_clock import VectorClock
+from repro.net.message import INT_BYTES, WireSizer
+
+
+def make_interval(pid=0, index=1, vc=None, epoch=0, psz=16):
+    return Interval(pid, index, vc or VectorClock([index, 0]), epoch, psz)
+
+
+def test_record_read_write_populates_notices_and_bitmaps():
+    iv = make_interval()
+    iv.record_write(3, 5)
+    iv.record_read(2, 0, count=4)
+    assert iv.write_pages == {3}
+    assert iv.read_pages == {2}
+    assert iv.write_bitmaps[3].test(5)
+    assert all(iv.read_bitmaps[2].test(i) for i in range(4))
+    assert not iv.is_empty
+
+
+def test_record_without_bitmap():
+    iv = make_interval()
+    iv.record_write(1, 0, bitmap=False)
+    assert iv.write_pages == {1}
+    assert 1 not in iv.write_bitmaps
+
+
+def test_closed_interval_rejects_recording():
+    iv = make_interval()
+    iv.close()
+    with pytest.raises(ValueError):
+        iv.record_read(0, 0)
+
+
+def test_merge_write_bitmap():
+    from repro.core.bitmap import Bitmap
+    iv = make_interval()
+    bm = Bitmap(16)
+    bm.set(2)
+    iv.merge_write_bitmap(5, bm)
+    assert iv.write_bitmaps[5].test(2)
+    bm2 = Bitmap(16)
+    bm2.set(9)
+    iv.merge_write_bitmap(5, bm2)
+    assert iv.write_bitmaps[5].test(2) and iv.write_bitmaps[5].test(9)
+
+
+def test_concurrent_with():
+    a = Interval(0, 1, VectorClock([1, 0]), 0, 16)
+    b = Interval(1, 1, VectorClock([0, 1]), 0, 16)
+    c = Interval(1, 2, VectorClock([1, 2]), 0, 16)  # has seen a
+    assert a.concurrent_with(b)
+    assert not a.concurrent_with(c)
+    assert not a.concurrent_with(Interval(0, 2, VectorClock([2, 0]), 0, 16))
+
+
+def test_wire_size_read_notices_only_with_detection():
+    sizer = WireSizer(2, 16)
+    iv = make_interval()
+    iv.record_write(1, 0)
+    iv.record_read(2, 0)
+    iv.record_read(3, 0)
+    with_reads = iv.wire_size(sizer, with_read_notices=True)
+    without = iv.wire_size(sizer, with_read_notices=False)
+    assert with_reads - without == iv.read_notice_wire_size(sizer)
+    assert iv.read_notice_wire_size(sizer) == (1 + 2) * INT_BYTES
+
+
+def test_intervals_unseen_by():
+    store = {
+        0: {1: make_interval(0, 1), 2: make_interval(0, 2),
+            3: make_interval(0, 3)},
+        1: {1: make_interval(1, 1)},
+    }
+    have = VectorClock([1, 0])
+    upto = VectorClock([3, 1])
+    got = [(iv.pid, iv.index) for iv in intervals_unseen_by(store, have, upto)]
+    assert got == [(0, 2), (0, 3), (1, 1)]
+
+
+def test_intervals_unseen_by_skips_missing_records():
+    store = {0: {2: make_interval(0, 2)}}
+    got = list(intervals_unseen_by(store, VectorClock([0, 0]),
+                                   VectorClock([3, 0])))
+    assert [(iv.pid, iv.index) for iv in got] == [(0, 2)]

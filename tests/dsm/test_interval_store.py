@@ -1,0 +1,73 @@
+"""IntervalStore: epoch views, garbage collection, vc logging."""
+
+from repro.dsm.interval import Interval
+from repro.dsm.node import IntervalStore
+from repro.dsm.vector_clock import VectorClock
+
+
+def make(pid, index, epoch=0, writes=()):
+    rec = Interval(pid, index, VectorClock([index, 0]), epoch, 16)
+    for page in writes:
+        rec.record_write(page, 0)
+    rec.close()
+    return rec
+
+
+def test_add_and_get():
+    store = IntervalStore()
+    rec = make(0, 1)
+    store.add(rec)
+    assert store.get(0, 1) is rec
+    assert store.get(0, 2) is None
+    assert store.get(9, 1) is None
+    assert store.total_created == 1
+
+
+def test_nonempty_counting():
+    store = IntervalStore()
+    store.add(make(0, 1))                    # empty
+    store.add(make(0, 2, writes=[3]))        # nonempty
+    assert store.total_created == 2
+    assert store.total_nonempty == 1
+
+
+def test_epoch_intervals_sorted_and_filtered():
+    store = IntervalStore()
+    store.add(make(1, 2, epoch=1))
+    store.add(make(0, 1, epoch=1))
+    store.add(make(0, 2, epoch=2))
+    recs = store.epoch_intervals(1)
+    assert [(r.pid, r.index) for r in recs] == [(0, 1), (1, 2)]
+
+
+def test_discard_epoch_counts_and_preserves_totals():
+    store = IntervalStore()
+    for idx in range(1, 4):
+        store.add(make(0, idx, epoch=0))
+    store.add(make(0, 4, epoch=1))
+    dropped = store.discard_epoch(0)
+    assert dropped == 3
+    assert store.live_records() == 1
+    # Lifetime counters are not rewound by GC.
+    assert store.total_created == 4
+
+
+def test_vc_log_only_when_enabled():
+    store = IntervalStore()
+    store.log_vc(0, 1, VectorClock([1, 0]))
+    assert store.vc_log == {}
+    store.log_vcs = True
+    vc = VectorClock([1, 0])
+    store.log_vc(0, 1, vc)
+    assert store.vc_log[(0, 1)] is vc
+
+
+def test_vc_log_survives_discard():
+    store = IntervalStore()
+    store.log_vcs = True
+    rec = make(0, 1, epoch=0)
+    store.add(rec)
+    store.log_vc(0, 1, rec.vc)
+    store.discard_epoch(0)
+    assert store.get(0, 1) is None       # record gone
+    assert (0, 1) in store.vc_log        # ordering info retained for oracles

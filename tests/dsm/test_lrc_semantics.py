@@ -1,0 +1,131 @@
+"""Lazy-release-consistency semantics: staleness, invalidation timing.
+
+These tests pin down the *weak memory* behaviour the paper's detection
+story depends on: writes propagate only through synchronization; an
+unsynchronized reader may see stale data (which is exactly what makes the
+Figure 5 example interesting, §6.4)."""
+
+import pytest
+
+from tests.helpers import run_app, run_app_with_system, small_config
+
+from repro.dsm.page import PageState
+
+
+def test_unsynchronized_reader_can_see_stale_value():
+    """P1 caches a page, P0 overwrites it with no synchronization: P1's
+    subsequent read returns the cached (stale) value — LRC at work."""
+    def app(env):
+        x = env.malloc(1, name="x")
+        if env.pid == 0:
+            env.store(x, 1)
+        env.barrier()
+        if env.pid == 1:
+            env.load(x)          # populate P1's copy (value 1)
+        env.barrier()
+        stale = None
+        if env.pid == 0:
+            env.store(x, 2)      # no release follows before P1's read
+        else:
+            stale = env.load(x)  # unsynchronized: may (and does) read 1
+        env.barrier()
+        return stale
+
+    res = run_app(app, nprocs=2)
+    assert res.results[1] == 1  # stale!
+    # ... and the detector reports the read-write race that made it stale.
+    assert any(r.kind.value == "read-write" for r in res.races)
+
+
+def test_acquire_invalidates_and_fetches_fresh_value():
+    def app(env):
+        x = env.malloc(1, name="x")
+        if env.pid == 0:
+            env.store(x, 1)
+        env.barrier()
+        if env.pid == 1:
+            env.load(x)
+        env.barrier()
+        out = None
+        if env.pid == 0:
+            with env.locked(1):
+                env.store(x, 2)
+        env.barrier()  # orders the critical sections across the test
+        if env.pid == 1:
+            with env.locked(1):
+                out = env.load(x)   # acquire applied the write notice
+        env.barrier()
+        return out
+
+    res = run_app(app, nprocs=2)
+    assert res.results[1] == 2
+
+
+def test_write_notice_does_not_invalidate_owner():
+    def app(env):
+        x = env.malloc(1, name="x")
+        if env.pid == 0:
+            env.store(x, 41)
+        env.barrier()
+        if env.pid == 0:
+            return env.load(x)  # owner's copy stays valid through barrier
+        return None
+
+    system, res = run_app_with_system(app, nprocs=2)
+    assert res.results[0] == 41
+
+
+def test_per_interval_write_notices_via_reprotection():
+    """Writing the same page in two different epochs produces a write
+    notice in each: pages are re-protected at interval boundaries.  If
+    the second epoch's write escaped notice generation, P1's cached copy
+    would never be invalidated and it would still read 1 at the end."""
+    def app(env):
+        x = env.malloc(1, name="x")
+        if env.pid == 0:
+            env.store(x, 1)
+        env.barrier()                        # B1
+        first = env.load(x)                  # P1 caches the page (value 1)
+        env.barrier()                        # B2
+        if env.pid == 0:
+            env.store(x, 2)                  # same page, new epoch
+        env.barrier()                        # B3: must carry a new notice
+        second = env.load(x)
+        env.barrier()
+        return (first, second)
+
+    res = run_app(app, nprocs=2)
+    assert res.results == [(1, 2), (1, 2)]
+
+
+def test_ownership_transfer_on_remote_write():
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store(x, 10)
+        env.barrier()
+        if env.pid == 1:
+            env.store(x, 20)  # ownership moves to P1
+        env.barrier()
+        return env.load(x)
+
+    system, res = run_app_with_system(app, nprocs=2)
+    assert res.results == [20, 20]
+    page = system.segment.page_of(system.segment.lookup("x").addr)
+    assert system.directory.owner_of(page) == 1
+
+
+def test_soft_fault_cheaper_than_hard_fault():
+    cfg = small_config(nprocs=1)
+    from repro.dsm.cvm import CVM
+
+    def app(env):
+        x = env.malloc(1, name="x")
+        env.store(x, 1)   # hard path (first materialization)
+        env.barrier()
+        env.store(x, 2)   # soft fault: still owner, local RO copy
+
+    system = CVM(cfg)
+    system.run(app)
+    assert system.protocol.soft_faults >= 1

@@ -1,0 +1,63 @@
+"""Page copies and the page directory."""
+
+import pytest
+
+from repro.dsm.page import PageCopy, PageDirectory, PageState
+
+
+def test_copy_lifecycle():
+    copy = PageCopy(3, 16)
+    assert copy.state is PageState.INVALID
+    assert not copy.valid
+    copy.materialize()
+    copy.state = PageState.READ_ONLY
+    assert copy.valid
+    assert copy.data == [0] * 16
+
+
+def test_materialize_with_contents_copies():
+    src = [1, 2, 3, 4]
+    copy = PageCopy(0, 4)
+    copy.materialize(src)
+    src[0] = 99
+    assert copy.data[0] == 1
+
+
+def test_materialize_wrong_length():
+    copy = PageCopy(0, 4)
+    with pytest.raises(ValueError):
+        copy.materialize([1, 2])
+
+
+def test_twin_management():
+    copy = PageCopy(0, 4)
+    copy.materialize([1, 2, 3, 4])
+    with pytest.raises(ValueError):
+        PageCopy(1, 4).make_twin()  # no data yet
+    copy.make_twin()
+    copy.data[0] = 9
+    assert copy.twin == [1, 2, 3, 4]
+    copy.drop_twin()
+    assert copy.twin is None
+
+
+def test_directory_round_robin_managers():
+    d = PageDirectory(num_pages=10, nprocs=4)
+    assert [d.manager_of(p) for p in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_directory_default_owner_is_manager():
+    d = PageDirectory(10, 4)
+    assert d.owner_of(5) == d.manager_of(5)
+
+
+def test_directory_owner_updates():
+    d = PageDirectory(10, 4)
+    d.set_owner(5, 3)
+    assert d.owner_of(5) == 3
+    with pytest.raises(ValueError):
+        d.set_owner(5, 9)
+    with pytest.raises(ValueError):
+        d.set_owner(99, 0)
+    with pytest.raises(ValueError):
+        d.owner_of(-1)

@@ -1,0 +1,119 @@
+"""Vector clocks: ordering semantics and lattice laws (hypothesis)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsm.vector_clock import VectorClock, concurrent, precedes
+
+vectors = st.lists(st.integers(min_value=0, max_value=20),
+                   min_size=1, max_size=6)
+
+
+def test_zero_and_tick():
+    vc = VectorClock.zero(4)
+    assert list(vc.entries) == [0, 0, 0, 0]
+    assert vc.tick(2) == 1
+    assert vc[2] == 1
+    assert vc.tick(2) == 2
+
+
+def test_negative_entries_rejected():
+    with pytest.raises(ValueError):
+        VectorClock([1, -1])
+
+
+def test_observe_elementwise_max():
+    a = VectorClock([3, 0, 5])
+    b = VectorClock([1, 4, 2])
+    a.observe(b)
+    assert a.entries == [3, 4, 5]
+
+
+def test_observe_width_mismatch():
+    with pytest.raises(ValueError):
+        VectorClock([1, 2]).observe(VectorClock([1, 2, 3]))
+
+
+def test_copy_is_independent():
+    a = VectorClock([1, 2])
+    b = a.copy()
+    b.tick(0)
+    assert a[0] == 1 and b[0] == 2
+
+
+def test_precedes_basic():
+    # Interval 2 of P0; an observer that has seen P0 up to 2.
+    assert precedes(0, 2, VectorClock([2, 9]))
+    assert precedes(0, 2, VectorClock([5, 0]))
+    assert not precedes(0, 2, VectorClock([1, 9]))
+
+
+def test_concurrent_symmetry_and_program_order():
+    va = VectorClock([3, 0])
+    vb = VectorClock([0, 4])
+    assert concurrent(0, 3, va, 1, 4, vb)
+    assert concurrent(1, 4, vb, 0, 3, va)
+    # Same process: never concurrent regardless of vectors.
+    assert not concurrent(0, 3, va, 0, 4, vb)
+
+
+def test_ordered_intervals_not_concurrent():
+    # P1's interval 4 has seen P0's interval 3.
+    va = VectorClock([3, 0])
+    vb = VectorClock([3, 4])
+    assert not concurrent(0, 3, va, 1, 4, vb)
+
+
+@given(vectors, vectors)
+def test_dominates_iff_pointwise(xs, ys):
+    n = min(len(xs), len(ys))
+    a, b = VectorClock(xs[:n]), VectorClock(ys[:n])
+    assert a.dominates(b) == all(x >= y for x, y in zip(a.entries, b.entries))
+
+
+@given(vectors)
+def test_observe_idempotent(xs):
+    a = VectorClock(xs)
+    before = list(a.entries)
+    a.observe(VectorClock(before))
+    assert a.entries == before
+
+
+@given(vectors, vectors, vectors)
+def test_observe_associative_commutative(xs, ys, zs):
+    n = min(len(xs), len(ys), len(zs))
+    xs, ys, zs = xs[:n], ys[:n], zs[:n]
+
+    def merged(order):
+        acc = VectorClock(order[0])
+        for other in order[1:]:
+            acc.observe(VectorClock(other))
+        return acc.entries
+
+    assert merged([xs, ys, zs]) == merged([zs, ys, xs]) == merged([ys, xs, zs])
+
+
+@given(vectors)
+def test_hash_eq_consistent(xs):
+    a, b = VectorClock(xs), VectorClock(list(xs))
+    assert a == b and hash(a) == hash(b)
+
+
+@given(st.data())
+def test_concurrency_antisymmetric_with_happens_before(data):
+    """If a precedes b then they are not concurrent, and b does not
+    precede a unless the clocks are inconsistent by construction."""
+    n = data.draw(st.integers(min_value=2, max_value=5))
+    ia = data.draw(st.integers(min_value=1, max_value=10))
+    ib = data.draw(st.integers(min_value=1, max_value=10))
+    rest_a = data.draw(st.lists(st.integers(min_value=0, max_value=10),
+                                min_size=n, max_size=n))
+    rest_b = data.draw(st.lists(st.integers(min_value=0, max_value=10),
+                                min_size=n, max_size=n))
+    rest_a[0], rest_b[1] = ia, ib
+    va, vb = VectorClock(rest_a), VectorClock(rest_b)
+    if precedes(0, ia, vb) or precedes(1, ib, va):
+        assert not concurrent(0, ia, va, 1, ib, vb)
+    else:
+        assert concurrent(0, ia, va, 1, ib, vb)

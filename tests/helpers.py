@@ -1,0 +1,40 @@
+"""Importable helpers shared by test modules (fixtures live in conftest)."""
+
+from __future__ import annotations
+
+from repro.dsm.config import DsmConfig
+from repro.dsm.cvm import CVM
+
+
+def small_config(**overrides) -> DsmConfig:
+    """A small, fast configuration used across tests: tiny pages so page
+    behaviour (faults, false sharing) is easy to provoke."""
+    base = dict(nprocs=4, page_size_words=16, segment_words=4096,
+                detection=True)
+    base.update(overrides)
+    return DsmConfig(**base)
+
+
+def run_app(app, *args, **config_overrides):
+    """Run an SPMD function on a fresh CVM with a small config."""
+    cfg = small_config(**config_overrides)
+    return CVM(cfg).run(app, *args)
+
+
+def run_app_with_system(app, *args, **config_overrides):
+    """Like run_app, but also returns the CVM instance (for inspecting
+    stores, segments, vc logs...)."""
+    cfg = small_config(**config_overrides)
+    system = CVM(cfg)
+    return system, system.run(app, *args)
+
+
+def online_race_keys(result):
+    """Canonical (kind, addr, sides) keys from a RunResult, comparable to
+    the oracle detectors' output."""
+    return {
+        (r.kind.value, r.addr,
+         tuple(sorted([(r.a.pid, r.a.index, r.a.access),
+                       (r.b.pid, r.b.index, r.b.access)])))
+        for r in result.races
+    }

@@ -1,0 +1,93 @@
+"""The ATOM-analogue static filter and rewriter."""
+
+import pytest
+
+from repro.instrument import kernel_ast as K
+from repro.instrument.atom import (ANALYSIS_SYMBOL, AccessClass, AtomRewriter,
+                                   classify)
+from repro.instrument.compiler import compile_kernel
+from repro.instrument.isa import (FP, GP, Function, Instruction, Op, Section)
+from repro.instrument.linker import LIBC_CORE, link
+
+
+def make_fn(section, base):
+    code = [Instruction(Op.LD, reg="t0", base=base, offset=0),
+            Instruction(Op.RET)]
+    return Function("f", code, section)
+
+
+@pytest.mark.parametrize("section,base,expected", [
+    (Section.LIBC, "t3", AccessClass.LIBRARY),
+    (Section.LIBC, FP, AccessClass.LIBRARY),   # section rule wins
+    (Section.CVM, "t3", AccessClass.CVM),
+    (Section.APP, FP, AccessClass.STACK),
+    (Section.APP, "sp", AccessClass.STACK),
+    (Section.APP, GP, AccessClass.STATIC),
+    (Section.APP, "t5", AccessClass.INSTRUMENTED),
+])
+def test_classification_rules(section, base, expected):
+    fn = make_fn(section, base)
+    assert classify(fn, fn.instructions[0]) is expected
+
+
+def test_classify_rejects_non_memory():
+    fn = make_fn(Section.APP, FP)
+    with pytest.raises(ValueError):
+        classify(fn, fn.instructions[1])
+
+
+def _toy_binary():
+    prog = K.KernelProgram("toy", statics=("g",), functions=[
+        K.KernelFunction(
+            "main", params=("p",), locals_=("i",),
+            body=[
+                K.Assign(K.Local("i"), K.Const(0)),
+                K.Assign(K.Static("g"), K.Local("i")),
+                K.Assign(K.Deref(K.Param("p"), K.Local("i")), K.Const(7)),
+                K.Return(K.Deref(K.Param("p"), K.Const(0))),
+            ]),
+    ])
+    return link("toy", [compile_kernel(prog)], libraries=[LIBC_CORE])
+
+
+def test_analyze_counts_every_memory_op():
+    report = AtomRewriter().analyze(_toy_binary())
+    assert report.total_memory_ops == sum(report.counts.values())
+    assert report.counts[AccessClass.LIBRARY] > 0
+    assert report.counts[AccessClass.CVM] > 0
+    assert report.counts[AccessClass.STACK] > 0
+    assert report.counts[AccessClass.STATIC] == 1
+    assert report.counts[AccessClass.INSTRUMENTED] == 2  # the two derefs
+    assert report.eliminated_fraction > 0.99
+
+
+def test_instrument_inserts_calls_before_survivors_only():
+    image = _toy_binary()
+    out = AtomRewriter().instrument(image)
+    main = out.functions["main"]
+    calls = [i for i, ins in enumerate(main.instructions)
+             if ins.op is Op.CALL and ins.target == ANALYSIS_SYMBOL]
+    assert len(calls) == 2
+    # Each analysis call immediately precedes a memory instruction.
+    for i in calls:
+        assert main.instructions[i + 1].is_memory
+    # Library code untouched.
+    lib_name = next(n for n, f in out.functions.items()
+                    if f.section is Section.LIBC)
+    assert all(ins.target != ANALYSIS_SYMBOL
+               for ins in out.functions[lib_name].instructions
+               if ins.op is Op.CALL)
+
+
+def test_instrumented_binary_preserves_counts():
+    image = _toy_binary()
+    report = AtomRewriter().analyze(image)
+    out = AtomRewriter().instrument(image)
+    assert out.total_instructions() == (image.total_instructions()
+                                        + report.instrumented)
+    assert out.entry == image.entry
+
+
+def test_report_row_shape():
+    row = AtomRewriter().analyze(_toy_binary()).row()
+    assert set(row) == {"stack", "static", "library", "cvm", "instrumented"}

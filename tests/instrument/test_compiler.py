@@ -1,0 +1,124 @@
+"""Kernel-language compiler: codegen shape and addressing discipline."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.instrument import kernel_ast as K
+from repro.instrument.compiler import compile_kernel
+from repro.instrument.isa import FP, GP, Op
+
+
+def compile_one(fn, statics=()):
+    prog = K.KernelProgram("t", statics=statics, functions=[fn])
+    return compile_kernel(prog).functions[0]
+
+
+def mem_ops(fn):
+    return [i for i in fn.instructions if i.is_memory]
+
+
+def test_local_scalar_uses_fp():
+    fn = compile_one(K.KernelFunction(
+        "f", locals_=("a",),
+        body=[K.Assign(K.Local("a"), K.Const(1)),
+              K.Return(K.Local("a"))]))
+    assert all(i.base == FP for i in mem_ops(fn))
+
+
+def test_static_uses_gp():
+    fn = compile_one(K.KernelFunction(
+        "f", body=[K.Assign(K.Static("g"), K.Const(5)),
+                   K.Return(K.Static("g"))]), statics=("g",))
+    assert all(i.base == GP for i in mem_ops(fn))
+
+
+def test_deref_uses_general_register():
+    fn = compile_one(K.KernelFunction(
+        "f", params=("p",),
+        body=[K.Assign(K.Deref(K.Param("p"), K.Const(0)), K.Const(1))]))
+    stores = [i for i in mem_ops(fn) if i.op is Op.ST and i.base not in (FP, GP)]
+    assert stores, "pointer store must not be fp/gp-relative"
+
+
+def test_const_indexed_stack_array_stays_fp():
+    fn = compile_one(K.KernelFunction(
+        "f", arrays=(("buf", 8),),
+        body=[K.Assign(K.LocalArr("buf", K.Const(3)), K.Const(1)),
+              K.Return(K.LocalArr("buf", K.Const(3)))]))
+    assert all(i.base == FP for i in mem_ops(fn))
+
+
+def test_variable_indexed_stack_array_loses_fp():
+    """The paper's 'false instrumentation' source: computed stack-array
+    addresses leave fp-relative form and get conservatively instrumented."""
+    fn = compile_one(K.KernelFunction(
+        "f", locals_=("i",), arrays=(("buf", 8),),
+        body=[K.Assign(K.LocalArr("buf", K.Local("i")), K.Const(1))]))
+    stores = [i for i in mem_ops(fn) if i.op is Op.ST]
+    assert any(i.base not in (FP, GP) for i in stores)
+
+
+def test_params_spilled_in_prologue():
+    fn = compile_one(K.KernelFunction("f", params=("a", "b"),
+                                      body=[K.Return(K.Param("a"))]))
+    prologue = fn.instructions[:2]
+    assert all(i.op is Op.ST and i.base == FP for i in prologue)
+
+
+def test_loops_and_branches_have_labels():
+    fn = compile_one(K.KernelFunction(
+        "f", locals_=("i", "s"),
+        body=[K.Assign(K.Local("s"), K.Const(0)),
+              K.For(K.Local("i"), K.Const(0), K.Const(10),
+                    [K.Assign(K.Local("s"),
+                              K.Bin("+", K.Local("s"), K.Local("i")))]),
+              K.Return(K.Local("s"))]))
+    labels = [i for i in fn.instructions if i.op is Op.LABEL]
+    branches = [i for i in fn.instructions if i.op in (Op.BEQZ, Op.J)]
+    assert len(labels) >= 2 and branches
+    targets = {i.target for i in labels}
+    assert all(b.target in targets for b in branches)
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(CompileError):
+        compile_one(K.KernelFunction("f", body=[K.Return(K.Local("ghost"))]))
+
+
+def test_unknown_static_rejected():
+    with pytest.raises(CompileError):
+        compile_one(K.KernelFunction("f", body=[K.Return(K.Static("ghost"))]))
+
+
+def test_duplicate_locals_rejected():
+    with pytest.raises(CompileError):
+        compile_one(K.KernelFunction("f", params=("a",), locals_=("a",),
+                                     body=[]))
+
+
+def test_duplicate_functions_rejected():
+    fn = K.KernelFunction("f", body=[])
+    with pytest.raises(CompileError):
+        compile_kernel(K.KernelProgram("t", functions=[fn, fn]))
+
+
+def test_function_always_returns():
+    fn = compile_one(K.KernelFunction("f", body=[]))
+    assert fn.instructions[-1].op is Op.RET
+
+
+def test_frame_words_cover_locals_and_arrays():
+    fn = compile_one(K.KernelFunction(
+        "f", params=("p",), locals_=("a", "b"), arrays=(("arr", 10),),
+        body=[]))
+    assert fn.frame_words == 1 + 2 + 10
+
+
+def test_call_moves_args_to_arg_registers():
+    fn = compile_one(K.KernelFunction(
+        "f", locals_=("x",),
+        body=[K.ExprStmt(K.CallExpr("g", (K.Const(1), K.Const(2))))]))
+    calls = [i for i in fn.instructions if i.op is Op.CALL]
+    assert len(calls) == 1 and calls[0].target == "g"
+    movs = [i for i in fn.instructions if i.op is Op.MOV]
+    assert {m.reg for m in movs} >= {"a0", "a1"}

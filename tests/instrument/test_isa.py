@@ -1,0 +1,69 @@
+"""Mini-ISA data structures."""
+
+import pytest
+
+from repro.instrument.isa import (ALU_OPS, MEMORY_OPS, BinaryImage, Function,
+                                  Instruction, ObjectFile, Op, Section)
+
+
+def test_memory_predicate():
+    assert Instruction(Op.LD, reg="t0", base="fp").is_memory
+    assert Instruction(Op.ST, reg="t0", base="t1").is_memory
+    assert not Instruction(Op.ADD, reg="t0", srcs=("t0", "t1")).is_memory
+    assert set(MEMORY_OPS) == {Op.LD, Op.ST}
+
+
+def test_render_formats():
+    assert Instruction(Op.LD, reg="t0", base="fp",
+                       offset=4).render() == "ld t0, 4(fp)"
+    assert Instruction(Op.LI, reg="v0", imm=-3).render() == "li v0, -3"
+    assert Instruction(Op.MOV, reg="a0",
+                       srcs=("t1",)).render() == "mov a0, t1"
+    assert Instruction(Op.ADD, reg="t0",
+                       srcs=("t0", "t1")).render() == "add t0, t0, t1"
+    assert Instruction(Op.BEQZ, srcs=("t0",),
+                       target="x").render() == "beqz t0, x"
+    assert Instruction(Op.J, target="x").render() == "j x"
+    assert Instruction(Op.CALL, target="f").render() == "call f"
+    assert Instruction(Op.LABEL, target="l").render() == "l:"
+    assert Instruction(Op.RET).render() == "ret"
+
+
+def test_function_memory_instructions():
+    fn = Function("f", [
+        Instruction(Op.LD, reg="t0", base="fp"),
+        Instruction(Op.ADD, reg="t0", srcs=("t0", "t0")),
+        Instruction(Op.ST, reg="t0", base="gp"),
+        Instruction(Op.RET),
+    ])
+    assert len(fn) == 4
+    assert len(fn.memory_instructions) == 2
+    assert fn.section is Section.APP
+
+
+def test_object_file_and_image():
+    obj = ObjectFile("o")
+    obj.add(Function("a", [Instruction(Op.RET)]))
+    obj.add(Function("b", [Instruction(Op.LD, reg="t0", base="fp"),
+                           Instruction(Op.RET)]))
+    image = BinaryImage("img")
+    for fn in obj.functions:
+        image.add(fn)
+    assert image.total_instructions() == 3
+    assert image.load_store_count() == 1
+    # Iteration is name-sorted and deterministic.
+    names = [fn.name for fn, _ins in image.all_instructions()]
+    assert names == sorted(names)
+
+
+def test_image_rejects_duplicates():
+    image = BinaryImage("img")
+    image.add(Function("a", [Instruction(Op.RET)]))
+    with pytest.raises(ValueError):
+        image.add(Function("a", [Instruction(Op.RET)]))
+
+
+def test_alu_ops_render_with_opcode_names():
+    for op in ALU_OPS:
+        text = Instruction(op, reg="t0", srcs=("t1", "t2")).render()
+        assert text.startswith(op.value)

@@ -1,0 +1,89 @@
+"""Linker, synthetic libraries, and the four application binaries."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.instrument import kernel_ast as K
+from repro.instrument.binaries import APP_NAMES, binary_for, table2_reports
+from repro.instrument.compiler import compile_kernel
+from repro.instrument.isa import Section
+from repro.instrument.linker import (LIBC_CORE, LIBCVM, LIBM, link,
+                                     synthesize_library)
+
+
+def test_synthetic_library_deterministic():
+    a = synthesize_library(LIBC_CORE)
+    b = synthesize_library(LIBC_CORE)
+    assert len(a.functions) == len(b.functions)
+    for fa, fb in zip(a.functions, b.functions):
+        assert [i.render() for i in fa.instructions] == \
+            [i.render() for i in fb.instructions]
+
+
+def test_synthetic_library_memory_mix():
+    obj = synthesize_library(LIBC_CORE)
+    total = sum(len(f.instructions) for f in obj.functions)
+    mem = sum(len(f.memory_instructions) for f in obj.functions)
+    assert 0.2 < mem / total < 0.5
+    assert all(f.section is Section.LIBC for f in obj.functions)
+
+
+def test_link_requires_entry():
+    prog = K.KernelProgram("t", functions=[K.KernelFunction("not_main")])
+    with pytest.raises(LinkError):
+        link("t", [compile_kernel(prog)])
+
+
+def test_link_rejects_duplicate_symbols():
+    prog = K.KernelProgram("t", functions=[K.KernelFunction("main")])
+    obj = compile_kernel(prog)
+    with pytest.raises(ValueError):
+        link("t", [obj, obj])
+
+
+def test_cvm_always_linked():
+    prog = K.KernelProgram("t", functions=[K.KernelFunction("main")])
+    image = link("t", [compile_kernel(prog)])
+    assert any(f.section is Section.CVM for f in image.functions.values())
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_app_binaries_link(app):
+    image = binary_for(app)
+    assert image.entry == "main"
+    assert image.load_store_count() > 1000
+
+
+def test_table2_shape():
+    """The paper's Table 2 claims, structurally."""
+    reports = table2_reports()
+    for app, rep in reports.items():
+        # >99% statically eliminated.
+        assert rep.eliminated_fraction > 0.99, app
+        row = rep.row()
+        # Library code dominates.
+        assert row["library"] > row["stack"] + row["static"] + \
+            row["instrumented"]
+        assert row["cvm"] > 0
+        assert row["instrumented"] > 0
+    # Math-heavy binaries carry the larger libraries (FFT/Water vs
+    # SOR/TSP), and Water has the largest instrumented residue.
+    assert reports["fft"].row()["library"] > reports["sor"].row()["library"]
+    assert reports["water"].row()["library"] > reports["tsp"].row()["library"]
+    inst = {app: rep.row()["instrumented"] for app, rep in reports.items()}
+    assert inst["water"] == max(inst.values())
+    assert inst["sor"] == min(inst.values())
+
+
+def test_all_kernels_compile_and_run_on_machine():
+    """Every application kernel binary executes end to end after
+    instrumentation (small inputs)."""
+    from repro.instrument.atom import AtomRewriter
+    from repro.instrument.machine import Machine
+
+    args = {"fft": (16,), "sor": (6, 6), "tsp": (5,), "water": (4, 1)}
+    for app in APP_NAMES:
+        instrumented = AtomRewriter().instrument(binary_for(app))
+        m = Machine(instrumented, max_steps=2_000_000)
+        m.run(*args[app])
+        assert m.analysis_calls > 0, app

@@ -1,0 +1,145 @@
+"""The mini-ISA interpreter, including instrumented execution."""
+
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.instrument import kernel_ast as K
+from repro.instrument.atom import AtomRewriter
+from repro.instrument.compiler import compile_kernel
+from repro.instrument.linker import link
+from repro.instrument.machine import (HEAP_BASE, AnalysisCounter, Machine)
+
+
+def build(functions, statics=()):
+    prog = K.KernelProgram("t", statics=statics, functions=functions)
+    return link("t", [compile_kernel(prog)], libraries=[])
+
+
+def test_arithmetic_and_return():
+    img = build([K.KernelFunction(
+        "main", params=("a", "b"),
+        body=[K.Return(K.Bin("+", K.Bin("*", K.Param("a"), K.Param("b")),
+                             K.Const(7)))])])
+    assert Machine(img).run(6, 7) == 49
+
+
+def test_loop_sum():
+    img = build([K.KernelFunction(
+        "main", params=("n",), locals_=("i", "s"),
+        body=[K.Assign(K.Local("s"), K.Const(0)),
+              K.For(K.Local("i"), K.Const(0), K.Param("n"),
+                    [K.Assign(K.Local("s"),
+                              K.Bin("+", K.Local("s"), K.Local("i")))]),
+              K.Return(K.Local("s"))])])
+    assert Machine(img).run(10) == 45
+
+
+def test_if_else():
+    img = build([K.KernelFunction(
+        "main", params=("x",),
+        body=[K.If(K.Bin("<", K.Param("x"), K.Const(10)),
+                   [K.Return(K.Const(1))],
+                   [K.Return(K.Const(2))])])])
+    m = Machine(img)
+    assert m.run(5) == 1
+    assert Machine(img).run(50) == 2
+
+
+def test_while_loop():
+    img = build([K.KernelFunction(
+        "main", params=("n",), locals_=("c",),
+        body=[K.Assign(K.Local("c"), K.Const(0)),
+              K.While(K.Bin("<", K.Local("c"), K.Param("n")),
+                      [K.Assign(K.Local("c"),
+                                K.Bin("+", K.Local("c"), K.Const(3)))]),
+              K.Return(K.Local("c"))])])
+    assert Machine(img).run(10) == 12
+
+
+def test_function_calls_and_recursion_free_chain():
+    img = build([
+        K.KernelFunction("double", params=("x",),
+                         body=[K.Return(K.Bin("*", K.Param("x"), K.Const(2)))]),
+        K.KernelFunction("main", params=("x",),
+                         body=[K.Return(K.CallExpr(
+                             "double", (K.CallExpr("double", (K.Param("x"),)),)))]),
+    ])
+    assert Machine(img).run(3) == 12
+
+
+def test_malloc_and_heap_access():
+    img = build([K.KernelFunction(
+        "main", locals_=("p",),
+        body=[K.Assign(K.Local("p"), K.CallExpr("malloc", (K.Const(4),))),
+              K.Assign(K.Deref(K.Local("p"), K.Const(2)), K.Const(99)),
+              K.Return(K.Deref(K.Local("p"), K.Const(2)))])])
+    m = Machine(img)
+    assert m.run() == 99
+    assert m.heap_next > HEAP_BASE
+
+
+def test_statics_persist_across_calls():
+    img = build([
+        K.KernelFunction("bump", body=[
+            K.Assign(K.Static("g"), K.Bin("+", K.Static("g"), K.Const(1)))]),
+        K.KernelFunction("main", body=[
+            K.ExprStmt(K.CallExpr("bump")),
+            K.ExprStmt(K.CallExpr("bump")),
+            K.Return(K.Static("g"))]),
+    ], statics=("g",))
+    assert Machine(img).run() == 2
+
+
+def test_unknown_call_is_opaque_zero():
+    img = build([K.KernelFunction(
+        "main", body=[K.Return(K.CallExpr("printf", (K.Const(1),)))])])
+    assert Machine(img).run() == 0
+
+
+def test_custom_intrinsic():
+    img = build([K.KernelFunction(
+        "main", body=[K.Return(K.CallExpr("magic", ()))])])
+    m = Machine(img)
+    m.intrinsic("magic", lambda *a: 1234)
+    assert m.run() == 1234
+
+
+def test_step_limit():
+    img = build([K.KernelFunction(
+        "main", locals_=("c",),
+        body=[K.Assign(K.Local("c"), K.Const(1)),
+              K.While(K.Bin("<", K.Const(0), K.Local("c")),
+                      [K.Assign(K.Local("c"), K.Const(1))])])])
+    with pytest.raises(InstrumentationError):
+        Machine(img, max_steps=5000).run()
+
+
+def test_instrumented_binary_fires_analysis_calls():
+    img = build([K.KernelFunction(
+        "main", locals_=("p", "i"),
+        body=[K.Assign(K.Local("p"), K.CallExpr("malloc", (K.Const(8),))),
+              K.For(K.Local("i"), K.Const(0), K.Const(8),
+                    [K.Assign(K.Deref(K.Local("p"), K.Local("i")),
+                              K.Local("i"))]),
+              K.Return(K.Const(0))])])
+    instrumented = AtomRewriter().instrument(img)
+    hook = AnalysisCounter()
+    m = Machine(instrumented, analysis_hook=hook)
+    m.run()
+    assert m.analysis_calls == 8
+    assert hook.shared == 8       # heap addresses classify as shared
+    assert hook.private == 0
+    # Addresses and access kinds recorded.
+    assert all(addr >= HEAP_BASE and is_store for addr, is_store in hook.events)
+
+
+def test_uninstrumented_stack_accesses_silent():
+    img = build([K.KernelFunction(
+        "main", locals_=("a", "b"),
+        body=[K.Assign(K.Local("a"), K.Const(1)),
+              K.Assign(K.Local("b"), K.Local("a")),
+              K.Return(K.Local("b"))])])
+    instrumented = AtomRewriter().instrument(img)
+    m = Machine(instrumented)
+    assert m.run() == 1
+    assert m.analysis_calls == 0

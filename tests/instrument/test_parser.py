@@ -1,0 +1,187 @@
+"""Kernel-language parser: syntax, scoping, end-to-end execution."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.instrument import kernel_ast as K
+from repro.instrument.linker import link
+from repro.instrument.machine import Machine
+from repro.instrument.parser import compile_source, parse_kernel, tokenize
+
+
+def run_main(source: str, *args: int) -> int:
+    obj = compile_source(source)
+    return Machine(link("t", [obj], libraries=[])).run(*args)
+
+
+def test_tokenize_basics():
+    toks = tokenize("func f(x) { return x + 1; } # comment")
+    kinds = [t[0] for t in toks]
+    assert kinds[0] == "kw" and toks[0][1] == "func"
+    assert ("num", "1") in [(k, v) for k, v, _l in toks]
+    assert kinds[-1] == "eof"
+
+
+def test_tokenize_tracks_lines_and_rejects_garbage():
+    toks = tokenize("func\nf")
+    assert toks[1][2] == 2
+    with pytest.raises(CompileError):
+        tokenize("func @")
+
+
+def test_parse_statics_and_function_shape():
+    prog = parse_kernel("""
+        static a, b;
+        static c;
+        func main(n) {
+            local i;
+            array buf[4];
+            return 0;
+        }
+    """)
+    assert prog.statics == ("a", "b", "c")
+    [fn] = prog.functions
+    assert fn.params == ("n",)
+    assert fn.locals_ == ("i",)
+    assert fn.arrays == (("buf", 4),)
+
+
+def test_arithmetic_precedence():
+    assert run_main("func main(x) { return 2 + 3 * x; }", 4) == 14
+    assert run_main("func main(x) { return (2 + 3) * x; }", 4) == 20
+    assert run_main("func main(x) { return 10 - 2 - 3; }", 0) == 5
+    assert run_main("func main(x) { return 1 < 2; }", 0) == 1
+    assert run_main("func main(x) { return 7 & 3 | 8; }", 0) == (7 & 3 | 8)
+
+
+def test_for_loop_sum():
+    src = """
+        func main(n) {
+            local i, s;
+            s = 0;
+            for (i = 0; i < n; i += 1) { s = s + i; }
+            return s;
+        }
+    """
+    assert run_main(src, 10) == 45
+
+
+def test_for_loop_step():
+    src = """
+        func main(n) {
+            local i, c;
+            c = 0;
+            for (i = 0; i < n; i += 3) { c = c + 1; }
+            return c;
+        }
+    """
+    assert run_main(src, 10) == 4
+
+
+def test_while_and_if_else():
+    src = """
+        func main(n) {
+            local c;
+            c = 0;
+            while (c < n) {
+                if (c == 5) { return 99; } else { c = c + 2; }
+            }
+            return c;
+        }
+    """
+    assert run_main(src, 8) == 8
+    assert run_main(src, 6) == 6
+
+
+def test_pointer_deref_vs_stack_array():
+    src = """
+        func main(n) {
+            local p, i;
+            array scratch[4];
+            p = malloc(n);
+            for (i = 0; i < n; i += 1) { p[i] = i * i; }
+            scratch[1] = p[3];
+            return scratch[1];
+        }
+    """
+    assert run_main(src, 5) == 9
+    # Classification: p[i] must be a Deref, scratch[1] a LocalArr.
+    prog = parse_kernel(src)
+    body = prog.functions[0].body
+    loop = next(s for s in body if isinstance(s, K.For))
+    assert isinstance(loop.body[0].target, K.Deref)
+    store = next(s for s in body if isinstance(s, K.Assign)
+                 and isinstance(s.target, K.LocalArr))
+    assert store.target.name == "scratch"
+
+
+def test_statics_and_calls():
+    src = """
+        static counter;
+        func bump(by) { counter = counter + by; return counter; }
+        func main(n) {
+            bump(n);
+            bump(n);
+            return counter;
+        }
+    """
+    assert run_main(src, 5) == 10
+
+
+def test_return_void():
+    src = """
+        func noop() { return; }
+        func main(n) { noop(); return n; }
+    """
+    assert run_main(src, 3) == 3
+
+
+@pytest.mark.parametrize("bad,msg", [
+    ("func main() { return ghost; }", "undeclared"),
+    ("func main() { 5 = 3; }", "assign"),
+    ("oops;", "expected"),
+    ("func main( { }", "expected"),
+    ("func main() { for (k = 0; j < 2; k += 1) { } }", "undeclared"),
+    ("func main() { local i; for (i = 0; i < 2; i += 1) ; }", "expected"),
+])
+def test_parse_errors(bad, msg):
+    with pytest.raises(CompileError) as exc:
+        parse_kernel(bad)
+    assert msg.lower() in str(exc.value).lower()
+
+
+def test_for_condition_must_match_variable():
+    with pytest.raises(CompileError):
+        parse_kernel("""
+            func main() {
+                local i, j;
+                for (i = 0; j < 2; i += 1) { }
+            }
+        """)
+
+
+def test_parsed_source_equivalent_to_builder_ast():
+    """The same kernel via text and via AST builders compiles to the same
+    instruction stream."""
+    from repro.instrument.compiler import compile_kernel
+    text_obj = compile_source("""
+        func main(n) {
+            local i, s;
+            s = 0;
+            for (i = 0; i < n; i += 1) { s = s + i; }
+            return s;
+        }
+    """)
+    ast_prog = K.KernelProgram("kernel", functions=[K.KernelFunction(
+        "main", params=("n",), locals_=("i", "s"),
+        body=[
+            K.Assign(K.Local("s"), K.Const(0)),
+            K.For(K.Local("i"), K.Const(0), K.Param("n"),
+                  [K.Assign(K.Local("s"),
+                            K.Bin("+", K.Local("s"), K.Local("i")))]),
+            K.Return(K.Local("s")),
+        ])])
+    ast_obj = compile_kernel(ast_prog)
+    text_ins = [i.render() for i in text_obj.functions[0].instructions]
+    ast_ins = [i.render() for i in ast_obj.functions[0].instructions]
+    assert text_ins == ast_ins

@@ -1,0 +1,35 @@
+"""Traffic statistics and the Table 3 message-overhead fraction."""
+
+from repro.net.stats import TrafficStats
+
+
+def test_record_and_totals():
+    s = TrafficStats()
+    s.record("x", 0, 1, 100)
+    s.record("x", 1, 0, 50)
+    s.record("y", 0, 2, 25)
+    assert s.total_messages == 3
+    assert s.total_bytes == 175
+    assert s.bytes_by_tag["x"] == 150
+
+
+def test_overhead_fraction_zero_without_traffic():
+    assert TrafficStats().message_overhead_fraction() == 0.0
+
+
+def test_overhead_fraction_combines_notices_and_bitmap_round():
+    s = TrafficStats()
+    s.record("sync", 0, 1, 800)
+    s.record("bitmap_reply", 1, 0, 200)
+    s.add_read_notice_bytes(100)
+    s.add_bitmap_round_bytes(200)
+    assert s.message_overhead_fraction() == (100 + 200) / 1000
+
+
+def test_summary_keys():
+    s = TrafficStats()
+    s.record("t", 0, 1, 10)
+    s.add_read_notice_bytes(3)
+    out = s.summary()
+    assert out == {"messages": 1, "bytes": 10,
+                   "read_notice_bytes": 3, "bitmap_round_bytes": 0}

@@ -1,0 +1,77 @@
+"""Virtual clocks and cost ledgers."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.costmodel import (OVERHEAD_CATEGORIES, CostCategory,
+                                 CostLedger, CostModel)
+
+
+def test_advance_accumulates_and_tags():
+    clock = VirtualClock()
+    clock.advance(100)
+    clock.advance(50, CostCategory.PROC_CALL)
+    assert clock.now == 150
+    assert clock.ledger.base == 100
+    assert clock.ledger.totals[CostCategory.PROC_CALL] == 50
+    assert clock.ledger.overhead == 50
+    assert clock.ledger.total == 150
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_wait_until_moves_forward_only():
+    clock = VirtualClock()
+    clock.advance(100)
+    assert clock.wait_until(80) == 100   # no time travel
+    assert clock.wait_until(250) == 250
+    # Idle time is not charged to any category.
+    assert clock.ledger.total == 100
+
+
+def test_ledger_merge():
+    a, b = CostLedger(), CostLedger()
+    a.charge(CostCategory.BASE, 10)
+    b.charge(CostCategory.BASE, 5)
+    b.charge(CostCategory.BITMAPS, 3)
+    a.merge(b)
+    assert a.base == 15
+    assert a.totals[CostCategory.BITMAPS] == 3
+
+
+def test_breakdown_relative_to_base():
+    ledger = CostLedger()
+    ledger.charge(CostCategory.BASE, 200)
+    ledger.charge(CostCategory.ACCESS_CHECK, 50)
+    bd = ledger.breakdown()
+    assert bd["access_check"] == pytest.approx(0.25)
+    assert sum(bd.values()) == pytest.approx(0.25)
+
+
+def test_breakdown_with_zero_base():
+    ledger = CostLedger()
+    ledger.charge(CostCategory.BITMAPS, 50)
+    assert all(v == 0.0 for v in ledger.breakdown().values())
+
+
+def test_overhead_categories_cover_everything_but_base():
+    assert set(OVERHEAD_CATEGORIES) == set(CostCategory) - {CostCategory.BASE}
+    assert all(cat.is_overhead for cat in OVERHEAD_CATEGORIES)
+    assert not CostCategory.BASE.is_overhead
+
+
+def test_cost_model_conversions():
+    cm = CostModel(clock_hz=100.0)
+    assert cm.seconds(250.0) == pytest.approx(2.5)
+    assert cm.message_cycles(100) == pytest.approx(
+        cm.msg_latency + 100 * cm.cycles_per_byte)
+
+
+def test_negative_charge_rejected():
+    ledger = CostLedger()
+    with pytest.raises(ValueError):
+        ledger.charge(CostCategory.BASE, -5)

@@ -1,0 +1,47 @@
+"""Scheduling policies."""
+
+import pytest
+
+from repro.sim.policy import RandomPolicy, RoundRobinPolicy, make_policy
+
+
+def test_round_robin_cycles_in_pid_order():
+    p = RoundRobinPolicy()
+    ready = [2, 0, 5]
+    assert p.pick(ready, None) == 0
+    assert p.pick(ready, 0) == 2
+    assert p.pick(ready, 2) == 5
+    assert p.pick(ready, 5) == 0  # wraps
+
+
+def test_round_robin_skips_missing_pids():
+    p = RoundRobinPolicy()
+    assert p.pick([1, 3], 1) == 3
+    assert p.pick([1, 3], 2) == 3
+    assert p.pick([1, 3], 3) == 1
+
+
+def test_round_robin_empty_ready_rejected():
+    with pytest.raises(ValueError):
+        RoundRobinPolicy().pick([], None)
+
+
+def test_random_policy_is_seed_deterministic():
+    seq1 = [RandomPolicy(42).pick(list(range(8)), None) for _ in range(1)]
+    p1, p2 = RandomPolicy(42), RandomPolicy(42)
+    picks1 = [p1.pick(list(range(8)), None) for _ in range(20)]
+    picks2 = [p2.pick(list(range(8)), None) for _ in range(20)]
+    assert picks1 == picks2
+
+
+def test_random_policy_picks_only_ready():
+    p = RandomPolicy(0)
+    for _ in range(50):
+        assert p.pick([3, 7], None) in (3, 7)
+
+
+def test_make_policy():
+    assert isinstance(make_policy("round_robin"), RoundRobinPolicy)
+    assert isinstance(make_policy("random", seed=5), RandomPolicy)
+    with pytest.raises(ValueError):
+        make_policy("lottery")

@@ -1,0 +1,88 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_apps_lists_everything(capsys):
+    rc, out = run_cli(capsys, "apps")
+    assert rc == 0
+    for name in ("fft", "sor", "tsp", "water", "queue_racy"):
+        assert name in out
+
+
+def test_run_racy_app(capsys):
+    rc, out = run_cli(capsys, "run", "water", "--procs", "4")
+    assert rc == 0
+    assert "data race(s):" in out
+    assert "water_poteng" in out
+    assert "slowdown" in out
+
+
+def test_run_clean_app(capsys):
+    rc, out = run_cli(capsys, "run", "sor", "--procs", "2")
+    assert rc == 0
+    assert "no data races detected" in out
+
+
+def test_run_queue_forces_three_procs(capsys):
+    rc, out = run_cli(capsys, "run", "queue_racy", "--procs", "8")
+    assert rc == 0
+    assert "3 simulated processes" in out
+
+
+def test_run_mw_protocol(capsys):
+    rc, out = run_cli(capsys, "run", "water", "--procs", "2",
+                      "--protocol", "mw")
+    assert rc == 0
+    assert "(mw protocol" in out
+
+
+def test_attribute(capsys):
+    rc, out = run_cli(capsys, "attribute", "water", "--procs", "4")
+    assert rc == 0
+    assert "water_poteng" in out
+    assert "unsynchronized-write" in out
+
+
+def test_table2(capsys):
+    rc, out = run_cli(capsys, "table2")
+    assert rc == 0
+    assert "Table 2" in out and "WATER" in out
+
+
+def test_disasm_app_only(capsys):
+    rc, out = run_cli(capsys, "disasm", "sor")
+    assert rc == 0
+    assert ".func main section=app" in out
+    assert "section=library" not in out
+
+
+def test_disasm_instrumented(capsys):
+    rc, out = run_cli(capsys, "disasm", "tsp", "--instrumented")
+    assert rc == 0
+    assert "call __race_analysis" in out
+
+
+def test_timeline(capsys):
+    rc, out = run_cli(capsys, "timeline", "queue_racy")
+    assert rc == 0
+    assert "P0 |" in out and "happens-before edges" in out
+    assert "race(s)" in out
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "doom"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
