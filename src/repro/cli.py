@@ -30,6 +30,10 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--first-races-only", action="store_true")
     p.add_argument("--paper-input", action="store_true",
                    help="use the paper's Table 1 input set (slow)")
+    p.add_argument("--reference-detector", action="store_true",
+                   help="run the paper's literal O(i²p²) detection "
+                        "algorithm instead of the fast path (identical "
+                        "output, slower wall-clock; see docs/performance.md)")
 
 
 def cmd_apps(_args) -> int:
@@ -47,7 +51,8 @@ def cmd_run(args) -> int:
     result = measure(spec, nprocs=nprocs, params=params,
                      protocol=args.protocol, policy=args.policy,
                      seed=args.seed,
-                     first_races_only=args.first_races_only)
+                     first_races_only=args.first_races_only,
+                     detector_fast_path=not args.reference_detector)
     res = result.detected
     print(f"{args.app} on {nprocs} simulated processes "
           f"({args.protocol} protocol, {args.policy} seed {args.seed})")
@@ -80,7 +85,8 @@ def cmd_attribute(args) -> int:
     from repro.replay import attribute_races
     spec = get_app(args.app)
     cfg = spec.config(nprocs=args.procs, protocol=args.protocol,
-                      policy=args.policy, seed=args.seed)
+                      policy=args.policy, seed=args.seed,
+                      detector_fast_path=not args.reference_detector)
     report = attribute_races(spec.func, spec.default_params, cfg)
     if not report.races:
         print("no races to attribute")
@@ -106,7 +112,8 @@ def cmd_timeline(args) -> int:
     nprocs = 3 if args.app == "queue_racy" else args.procs
     cfg = spec.config(nprocs=nprocs, protocol=args.protocol,
                       policy=args.policy, seed=args.seed,
-                      track_access_trace=True)
+                      track_access_trace=True,
+                      detector_fast_path=not args.reference_detector)
     system = CVM(cfg)
     result = system.run(spec.func, spec.default_params)
     print(timeline_from_run(system, result))

@@ -12,6 +12,10 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
+#: Python >= 3.10 has int.bit_count (a single popcount); resolved once at
+#: import so Bitmap.count() pays no per-call hasattr probe.
+_HAS_BIT_COUNT = hasattr(int, "bit_count")
+
 
 class Bitmap:
     """Fixed-width bitset, one bit per word of a page."""
@@ -61,8 +65,7 @@ class Bitmap:
             self._bytes[i >> 3] |= 1 << (i & 7)
 
     def clear(self) -> None:
-        for i in range(len(self._bytes)):
-            self._bytes[i] = 0
+        self._bytes[:] = bytes(len(self._bytes))
 
     # ------------------------------------------------------------------ #
     # Queries.
@@ -78,7 +81,7 @@ class Bitmap:
     def count(self) -> int:
         """Population count."""
         return int.from_bytes(self._bytes, "little").bit_count() \
-            if hasattr(int, "bit_count") else bin(
+            if _HAS_BIT_COUNT else bin(
                 int.from_bytes(self._bytes, "little")).count("1")
 
     def overlaps(self, other: "Bitmap") -> bool:
@@ -128,10 +131,12 @@ class Bitmap:
         return Bitmap.from_bytes(self._bytes)
 
     def union_update(self, other: "Bitmap") -> None:
-        """In-place OR (used when merging diff-derived write sets)."""
+        """In-place OR (used when merging diff-derived write sets): one
+        big-int OR over the whole page instead of a per-byte loop."""
         self._check_width(other)
-        for i, b in enumerate(other._bytes):
-            self._bytes[i] |= b
+        merged = (int.from_bytes(self._bytes, "little")
+                  | int.from_bytes(other._bytes, "little"))
+        self._bytes[:] = merged.to_bytes(len(self._bytes), "little")
 
     def _check_width(self, other: "Bitmap") -> None:
         if other.nbits != self.nbits:

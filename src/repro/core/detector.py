@@ -27,14 +27,29 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.bitmap import Bitmap
 from repro.core.checklist import (CheckEntry, bitmaps_needed, build_check_list,
+                                  build_check_list_fast, index_meetings,
                                   overlap_work, page_overlaps)
-from repro.core.concurrency import PairSearchStats, find_concurrent_pairs
+from repro.core.concurrency import (PairSearchStats, find_concurrent_pairs,
+                                    iter_window_pairs, model_comparison_count,
+                                    scan_windows)
 from repro.core.report import IntervalRef, RaceKind, RaceReport
 from repro.dsm.interval import Interval
 from repro.net.message import WireSizer
 from repro.net.transport import Transport
 from repro.sim.clock import VirtualClock
 from repro.sim.costmodel import CostCategory, CostModel
+
+
+#: Relative cost of one inverted-index (pair, page) meeting vs one
+#: reference notice-merge probe, for the fast path's per-epoch strategy
+#: choice.  Calibrated on the TSP (lock-dense) / Water (barrier) captures
+#: in ``benchmarks/bench_wallclock.py``.
+INDEX_MEETING_COST = 3
+
+#: Below this many modeled comparisons an epoch is too small for the
+#: window scan to pay for its own setup; the fast path just runs the
+#: reference pipeline (identical verdicts and charges by construction).
+SMALL_EPOCH_COMPARISONS = 4096
 
 
 @dataclass
@@ -91,7 +106,8 @@ class RaceDetector:
     def __init__(self, page_size_words: int, cost_model: CostModel,
                  sizer: WireSizer, transport: Transport,
                  symbol_for, master_pid: int = 0,
-                 first_races_only: bool = False):
+                 first_races_only: bool = False,
+                 fast_path: bool = True):
         self.page_size_words = page_size_words
         self.cost_model = cost_model
         self.sizer = sizer
@@ -100,6 +116,17 @@ class RaceDetector:
         self.symbol_for = symbol_for
         self.master_pid = master_pid
         self.first_races_only = first_races_only
+        #: Execution engine selector.  True (default): pruned pair search +
+        #: inverted-index check list, with the naive algorithm's work
+        #: charged to virtual time analytically.  False: the paper's
+        #: literal O(i^2 p^2) reference algorithm.  Verdicts, stats and
+        #: ledgers are identical either way (the equivalence tests assert
+        #: this); only Python wall-clock differs.
+        self.fast_path = fast_path
+        #: Vector-clock probes the fast path actually performed (pruned
+        #: search), for diagnostics/benchmarks.  Deliberately *not* part of
+        #: DetectorStats: the model figure there stays the naive count.
+        self.actual_comparisons = 0
         self.stats = DetectorStats()
         self.races: List[RaceReport] = []
         self._seen_keys: Set[Tuple] = set()
@@ -117,22 +144,50 @@ class RaceDetector:
             self.stats.bitmaps_created += (len(rec.read_bitmaps)
                                            + len(rec.write_bitmaps))
 
-        # Step 2: concurrent pairs (constant-time VC comparisons).
+        # Steps 2+3: concurrent pairs (constant-time VC comparisons), then
+        # page-overlap winnowing into the check list.
+        #
+        # The fast path (default) never materializes the concurrent-pair
+        # set: the pair count and the overlap probe work are computed as
+        # window aggregates of the pruned O(i log i) search, and the check
+        # list comes straight from an inverted page->notices index, so the
+        # Python work is O(i log i + notices + output).  Virtual time is
+        # *decoupled* from that execution: the master clock is charged for
+        # the naive algorithm's comparison count (computed analytically)
+        # and the reference probe work, exactly as the reference engine
+        # charges them — ledgers, stats, and verdicts are bit-identical
+        # either way.
         search = PairSearchStats()
-        pairs = list(find_concurrent_pairs(intervals, search))
+        model = model_comparison_count(intervals)
+        if self.fast_path and model > SMALL_EPOCH_COMPARISONS:
+            _pair_count, probe_work, windows = scan_windows(intervals, search)
+            self.actual_comparisons += search.comparisons
+            search.comparisons = model
+            # Adaptive check-list strategy (both produce identical
+            # entries): the inverted index wins when pages are shared by
+            # few intervals (barrier workloads); enumerating the scanned
+            # windows wins when many *ordered* intervals pile onto the
+            # same pages (lock workloads), where page overlap is a weak
+            # filter.  Meetings are costlier than merge probes (dict ops
+            # plus a concurrency test per candidate), hence the factor.
+            if INDEX_MEETING_COST * index_meetings(intervals) <= probe_work:
+                check_list = build_check_list_fast(intervals)
+            else:
+                check_list = build_check_list(iter_window_pairs(windows))
+        else:
+            pairs = list(find_concurrent_pairs(intervals, search))
+            self.actual_comparisons += search.comparisons
+            probe_work = sum(overlap_work(a, b) for a, b in pairs)
+            check_list = build_check_list(pairs)
         self.stats.intervals_total += search.intervals
         self.stats.interval_comparisons += search.comparisons
         self.stats.concurrent_pairs += search.concurrent_pairs
         master_clock.advance(
             self.cost_model.interval_compare * max(1, search.comparisons),
             CostCategory.INTERVALS)
-
-        # Step 3: page-overlap winnowing -> check list.
-        probe_work = sum(overlap_work(a, b) for a, b in pairs)
         master_clock.advance(
             self.cost_model.page_overlap_check * probe_work,
             CostCategory.INTERVALS)
-        check_list = build_check_list(pairs)
         self.stats.overlapping_pairs += len(check_list)
         used: Set[Tuple[int, int]] = set()
         for entry in check_list:

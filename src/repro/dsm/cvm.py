@@ -134,7 +134,8 @@ class CVM:
             self.detector = RaceDetector(
                 config.page_size_words, config.cost_model, self.sizer,
                 self.transport, self.segment.symbol_for, master_pid=0,
-                first_races_only=config.first_races_only)
+                first_races_only=config.first_races_only,
+                fast_path=config.detector_fast_path)
         #: Optional replay controller (see :mod:`repro.replay`): records or
         #: enforces the order in which contended locks are granted.
         self.lock_order = None
@@ -525,6 +526,12 @@ class Env:
         self._diff_writes = system.config.diff_write_detection
         self._proc_call = (0.0 if system.config.inline_instrumentation
                            else self._cm.proc_call)
+        # Tracing and pc-watching are both fixed before run() (the config
+        # is frozen; replay attribution installs its watch on the system
+        # before starting the second run), so _after_access can skip the
+        # per-word dict lookups entirely on the common path.
+        self._trace = system.config.track_access_trace
+        self._watching = system.pc_watch is not None
 
     # ------------------------------------------------------------------ #
     # Allocation.
@@ -642,20 +649,21 @@ class Env:
 
     def _after_access(self, addr: int, count: int, is_write: bool,
                       site: Optional[str]) -> None:
-        system = self.system
-        if system.config.track_access_trace:
-            system.access_trace.append(TraceEvent(
-                self.pid, self._node.vc[self.pid], addr, count, is_write))
-        if system.pc_watch is not None:
-            for w in range(addr, addr + count):
-                hits = system.pc_watch.get(w)
-                if hits is not None:
-                    hits.append((self.pid, self._node.vc[self.pid],
-                                 site or "<unknown site>", is_write))
+        if self._trace or self._watching:
+            system = self.system
+            if self._trace:
+                system.access_trace.append(TraceEvent(
+                    self.pid, self._node.vc[self.pid], addr, count, is_write))
+            if self._watching:
+                for w in range(addr, addr + count):
+                    hits = system.pc_watch.get(w)
+                    if hits is not None:
+                        hits.append((self.pid, self._node.vc[self.pid],
+                                     site or "<unknown site>", is_write))
         self._accesses_since_yield += count
         if self._accesses_since_yield >= YIELD_EVERY:
             self._accesses_since_yield = 0
-            system.scheduler.yield_control(self.pid)
+            self.system.scheduler.yield_control(self.pid)
 
     # ------------------------------------------------------------------ #
     # Private work (instrumented-but-private accesses, pure compute).

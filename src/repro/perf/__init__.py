@@ -1,0 +1,30 @@
+"""Wall-clock performance measurement (`repro.perf`).
+
+Everything else in this repository measures *virtual* time — the paper's
+cost model.  This package measures *real* time: how fast the Python
+implementation itself runs, which is what the ROADMAP's "as fast as the
+hardware allows" goal is about.  It provides
+
+* :func:`timeit_best` — a minimal best-of-N wall-clock timer,
+* :func:`capture_epochs` — run an application once and retain every
+  interval batch the barrier master analyzed, so detection can be
+  re-executed offline on identical inputs, and
+* :func:`time_detection` — replay captured epochs through a fresh
+  :class:`~repro.core.detector.RaceDetector` under either execution
+  engine (``fast_path`` on/off) and report wall-clock plus the verdicts,
+  letting ``benchmarks/bench_wallclock.py`` verify that the fast path is
+  both faster and observationally identical.
+"""
+
+from repro.perf.timing import BenchSample, timeit_best
+from repro.perf.detection import (CapturedEpoch, DetectionTiming,
+                                  capture_epochs, time_detection)
+
+__all__ = [
+    "BenchSample",
+    "CapturedEpoch",
+    "DetectionTiming",
+    "capture_epochs",
+    "time_detection",
+    "timeit_best",
+]

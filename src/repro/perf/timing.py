@@ -1,0 +1,49 @@
+"""Small wall-clock timing helpers.
+
+Deliberately dependency-free: ``time.perf_counter`` best-of-N, the same
+discipline ``timeit`` uses (the *minimum* of repeated runs is the best
+estimate of the achievable time; means absorb scheduler noise).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass
+class BenchSample:
+    """Wall-clock samples of one measured callable."""
+
+    label: str
+    samples: List[float]
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def as_dict(self) -> dict:
+        return {"label": self.label, "best_s": self.best,
+                "mean_s": self.mean, "samples_s": list(self.samples)}
+
+
+def timeit_best(fn: Callable[[], object], repeats: int = 3,
+                label: str = "") -> BenchSample:
+    """Run ``fn`` ``repeats`` times, wall-clock each run.
+
+    ``fn`` must be self-contained per call (fresh state inside), so that
+    every sample measures the same work.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return BenchSample(label=label, samples=samples)

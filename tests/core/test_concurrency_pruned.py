@@ -1,4 +1,5 @@
-"""The pruned (binary-search) pair search: equivalence and savings."""
+"""The pruned (binary-search) pair search and the window/index fast-path
+primitives: equivalence with the naive reference, and the savings."""
 
 import random
 
@@ -6,16 +7,22 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.checklist import (build_check_list, build_check_list_fast,
+                                  index_meetings, overlap_work)
 from repro.core.concurrency import (PairSearchStats, find_concurrent_pairs,
-                                    find_concurrent_pairs_pruned)
+                                    find_concurrent_pairs_pruned,
+                                    iter_window_pairs,
+                                    model_comparison_count, scan_windows)
 from repro.dsm.interval import Interval
 from repro.dsm.vector_clock import VectorClock
 
 
-def random_epoch(seed: int, nprocs: int, per_proc: int):
+def random_epoch(seed: int, nprocs: int, per_proc: int, notices: bool = False):
     """Generate a causally-consistent epoch: each process's vector clock
     grows monotonically, occasionally observing other processes' closed
-    intervals (like lock traffic would)."""
+    intervals (like lock traffic would).  With ``notices``, each interval
+    additionally reads/writes a few random pages from a small pool so
+    check-list construction has material to work on."""
     rng = random.Random(seed)
     seen = [[0] * nprocs for _ in range(nprocs)]
     closed = [0] * nprocs
@@ -31,8 +38,13 @@ def random_epoch(seed: int, nprocs: int, per_proc: int):
                     seen[pid][other] = max(seen[pid][other], closed[other])
             seen[pid][pid] += 1
             closed[pid] = seen[pid][pid]
-            intervals.append(Interval(pid, seen[pid][pid],
-                                      VectorClock(seen[pid]), 0, 16))
+            rec = Interval(pid, seen[pid][pid], VectorClock(seen[pid]), 0, 16)
+            if notices:
+                for page in rng.sample(range(8), rng.randrange(0, 3)):
+                    rec.record_write(page, rng.randrange(16))
+                for page in rng.sample(range(8), rng.randrange(0, 3)):
+                    rec.record_read(page, rng.randrange(16))
+            intervals.append(rec)
     return intervals
 
 
@@ -70,6 +82,74 @@ def test_pruned_needs_fewer_comparisons_on_ordered_epochs():
     list(find_concurrent_pairs_pruned(intervals, pruned_stats))
     assert pruned_stats.comparisons < naive_stats.comparisons / 3
     assert pruned_stats.concurrent_pairs == naive_stats.concurrent_pairs
+
+
+def entry_key(entry):
+    return ((entry.a.pid, entry.a.index), (entry.b.pid, entry.b.index),
+            [(ov.page, ov.write_write, ov.a_read_b_write, ov.a_write_b_read)
+             for ov in entry.pages])
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_model_comparison_count_matches_naive(seed):
+    intervals = random_epoch(seed, nprocs=4, per_proc=8)
+    stats = PairSearchStats()
+    list(find_concurrent_pairs(intervals, stats))
+    assert model_comparison_count(intervals) == stats.comparisons
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_scan_windows_aggregates_match_naive(seed):
+    intervals = random_epoch(seed, nprocs=4, per_proc=8, notices=True)
+    naive_stats = PairSearchStats()
+    naive_pairs = list(find_concurrent_pairs(intervals, naive_stats))
+    stats = PairSearchStats()
+    pair_count, probe_work, windows = scan_windows(intervals, stats)
+    assert pair_count == naive_stats.concurrent_pairs
+    assert stats.concurrent_pairs == naive_stats.concurrent_pairs
+    assert stats.intervals == naive_stats.intervals
+    assert probe_work == sum(overlap_work(a, b) for a, b in naive_pairs)
+    # Windows expand to the identical pair sequence, order included.
+    assert [((a.pid, a.index), (b.pid, b.index))
+            for a, b in iter_window_pairs(windows)] == \
+           [((a.pid, a.index), (b.pid, b.index)) for a, b in naive_pairs]
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_indexed_check_list_matches_reference(seed):
+    intervals = random_epoch(seed, nprocs=4, per_proc=8, notices=True)
+    reference = build_check_list(
+        find_concurrent_pairs(intervals, PairSearchStats()))
+    fast = build_check_list_fast(intervals)
+    assert [entry_key(e) for e in fast] == [entry_key(e) for e in reference]
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6),
+       st.integers(min_value=2, max_value=5),
+       st.integers(min_value=1, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_indexed_check_list_matches_reference_property(seed, nprocs, per_proc):
+    intervals = random_epoch(seed, nprocs, per_proc, notices=True)
+    reference = build_check_list(
+        find_concurrent_pairs(intervals, PairSearchStats()))
+    fast = build_check_list_fast(intervals)
+    assert [entry_key(e) for e in fast] == [entry_key(e) for e in reference]
+
+
+def test_index_meetings_bounds_index_work():
+    """The estimator counts every writer/writer and writer/reader page
+    meeting the index build can generate."""
+    intervals = random_epoch(3, nprocs=4, per_proc=8, notices=True)
+    meetings = index_meetings(intervals)
+    assert meetings >= 0
+    # Exact on a hand-built epoch: 2 writers + 1 reader on one page.
+    a = Interval(0, 1, VectorClock([1, 0, 0]), 0, 16)
+    b = Interval(1, 1, VectorClock([0, 1, 0]), 0, 16)
+    c = Interval(2, 1, VectorClock([0, 0, 1]), 0, 16)
+    a.record_write(5, 0)
+    b.record_write(5, 1)
+    c.record_read(5, 2)
+    assert index_meetings([a, b, c]) == 1 + 2  # one w/w pair, two w/r
 
 
 def test_pruned_on_fully_concurrent_epoch():

@@ -1,0 +1,79 @@
+"""Fast-path detection engine: full-pipeline equivalence.
+
+The synthetic-interval tests in test_concurrency_pruned.py establish the
+primitives; these run every registered application end to end under both
+``detector_fast_path`` settings and assert that *everything observable*
+matches: race reports, the whole DetectorStats (including per-epoch
+history), the per-process virtual-time ledgers, and the final runtime —
+the guarantee that lets the fast path be the default engine while
+Tables 1-3 and Figures 3-4 stay bit-identical.
+"""
+
+import pytest
+
+from repro.apps.registry import APPLICATIONS, EXTRAS, get_app
+from repro.sim.costmodel import CostCategory
+
+ALL_APPS = sorted(APPLICATIONS) + sorted(EXTRAS)
+
+
+def paired_runs(app: str, **overrides):
+    spec = get_app(app)
+    fast = spec.run(nprocs=8, detector_fast_path=True, **overrides)
+    ref = spec.run(nprocs=8, detector_fast_path=False, **overrides)
+    return fast, ref
+
+
+def assert_equivalent(fast, ref):
+    assert [r.key() for r in fast.races] == [r.key() for r in ref.races]
+    assert fast.detector_stats == ref.detector_stats
+    assert fast.runtime_cycles == ref.runtime_cycles
+    assert len(fast.ledgers) == len(ref.ledgers)
+    for lf, lr in zip(fast.ledgers, ref.ledgers):
+        assert lf.totals == lr.totals
+
+
+@pytest.mark.parametrize("app", ALL_APPS)
+def test_fast_path_matches_reference(app):
+    fast, ref = paired_runs(app)
+    assert_equivalent(fast, ref)
+
+
+@pytest.mark.parametrize("app", ["tsp", "water"])
+def test_fast_path_matches_reference_16_procs(app):
+    """The stress shape from the wall-clock benchmark: more processes,
+    more intervals per epoch, more concurrent pairs."""
+    spec = get_app(app)
+    fast = spec.run(nprocs=16, detector_fast_path=True)
+    ref = spec.run(nprocs=16, detector_fast_path=False)
+    assert_equivalent(fast, ref)
+
+
+def test_fast_path_matches_reference_consolidation():
+    """Consolidation passes call run_epoch mid-epoch on partial interval
+    sets; the engines must agree there too."""
+    fast, ref = paired_runs("tsp", consolidation_interval=6)
+    assert_equivalent(fast, ref)
+
+
+def test_fast_path_matches_reference_first_races_only():
+    fast, ref = paired_runs("water", first_races_only=True)
+    assert_equivalent(fast, ref)
+
+
+def test_fast_path_matches_reference_multi_writer():
+    fast, ref = paired_runs("water", protocol="mw",
+                            diff_write_detection=True)
+    assert_equivalent(fast, ref)
+
+
+def test_fast_path_is_the_default_and_decoupled_from_charging():
+    """The default config uses the fast engine, and its INTERVALS ledger
+    charge equals the reference engine's — virtual time stays the model's
+    even though the executed algorithm changed."""
+    fast, ref = paired_runs("water")
+    agg_fast = fast.aggregate_ledger().totals[CostCategory.INTERVALS]
+    agg_ref = ref.aggregate_ledger().totals[CostCategory.INTERVALS]
+    assert agg_fast == agg_ref > 0
+    assert fast.config.detector_fast_path is True
+    assert ref.config.detector_fast_path is False
