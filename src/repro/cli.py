@@ -34,6 +34,34 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
                    help="run the paper's literal O(i²p²) detection "
                         "algorithm instead of the fast path (identical "
                         "output, slower wall-clock; see docs/performance.md)")
+    p.add_argument("--loss-rate", type=float, default=0.0,
+                   help="per-datagram drop probability of the simulated "
+                        "network (default 0: reliable, byte-identical to "
+                        "builds without the robustness layer)")
+    p.add_argument("--duplicate-rate", type=float, default=0.0,
+                   help="per-datagram duplication probability")
+    p.add_argument("--reorder-rate", type=float, default=0.0,
+                   help="per-datagram reordering (late delivery) probability")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the deterministic fault schedule; the "
+                        "same seed reproduces the same drops on the same "
+                        "datagrams (see docs/robustness.md)")
+    p.add_argument("--retry-budget", type=int, default=8,
+                   help="total transmission attempts per fragment before "
+                        "the reliable channel gives up (default 8)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="also write the race report (one sorted line per "
+                        "race) to PATH — lets CI diff reports across "
+                        "fault seeds and loss rates")
+
+
+def _fault_overrides(args) -> dict:
+    """DsmConfig overrides carrying the CLI's fault-injection flags."""
+    return dict(loss_rate=args.loss_rate,
+                duplicate_rate=args.duplicate_rate,
+                reorder_rate=args.reorder_rate,
+                fault_seed=args.fault_seed,
+                retry_budget=args.retry_budget)
 
 
 def cmd_apps(_args) -> int:
@@ -52,7 +80,8 @@ def cmd_run(args) -> int:
                      protocol=args.protocol, policy=args.policy,
                      seed=args.seed,
                      first_races_only=args.first_races_only,
-                     detector_fast_path=not args.reference_detector)
+                     detector_fast_path=not args.reference_detector,
+                     **_fault_overrides(args))
     res = result.detected
     print(f"{args.app} on {nprocs} simulated processes "
           f"({args.protocol} protocol, {args.policy} seed {args.seed})")
@@ -66,12 +95,26 @@ def cmd_run(args) -> int:
     print(f"  detector: {st.interval_comparisons} comparisons, "
           f"{st.concurrent_pairs} concurrent pairs, "
           f"{st.bitmaps_fetched}/{st.bitmaps_created} bitmaps fetched")
+    if res.config.faults_enabled:
+        fs = res.traffic.fault_summary()
+        print(f"  network: {fs['drops']} drops, {fs['retransmits']} "
+              f"retransmits, {fs['duplicates']} duplicates suppressed, "
+              f"{fs['reorders']} reorders, {fs['retry_failures']} "
+              f"retry failures")
+        if st.page_granularity_reports:
+            print(f"  degradation: {st.page_granularity_reports} "
+                  f"page-granularity report(s) after "
+                  f"{st.bitmap_rounds_failed} failed bitmap round(s)")
     if res.races:
         print(f"\n{len(res.races)} data race(s):")
         for race in res.races:
             print(f"  {race}")
     else:
         print("\nno data races detected")
+    if args.report:
+        with open(args.report, "w") as fh:
+            for line in sorted(str(race) for race in res.races):
+                fh.write(line + "\n")
     return 0
 
 
@@ -86,7 +129,8 @@ def cmd_attribute(args) -> int:
     spec = get_app(args.app)
     cfg = spec.config(nprocs=args.procs, protocol=args.protocol,
                       policy=args.policy, seed=args.seed,
-                      detector_fast_path=not args.reference_detector)
+                      detector_fast_path=not args.reference_detector,
+                      **_fault_overrides(args))
     report = attribute_races(spec.func, spec.default_params, cfg)
     if not report.races:
         print("no races to attribute")
@@ -113,7 +157,8 @@ def cmd_timeline(args) -> int:
     cfg = spec.config(nprocs=nprocs, protocol=args.protocol,
                       policy=args.policy, seed=args.seed,
                       track_access_trace=True,
-                      detector_fast_path=not args.reference_detector)
+                      detector_fast_path=not args.reference_detector,
+                      **_fault_overrides(args))
     system = CVM(cfg)
     result = system.run(spec.func, spec.default_params)
     print(timeline_from_run(system, result))

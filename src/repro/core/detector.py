@@ -34,6 +34,7 @@ from repro.core.concurrency import (PairSearchStats, find_concurrent_pairs,
                                     scan_windows)
 from repro.core.report import IntervalRef, RaceKind, RaceReport
 from repro.dsm.interval import Interval
+from repro.errors import RetryExhaustedError
 from repro.net.message import WireSizer
 from repro.net.transport import Transport
 from repro.sim.clock import VirtualClock
@@ -80,6 +81,12 @@ class DetectorStats:
     bitmap_comparisons: int = 0
     races_found: int = 0
     races_suppressed_not_first: int = 0
+    #: Bitmap-round exchanges abandoned after the reliable channel's retry
+    #: budget ran out (lossy network only; see docs/robustness.md).
+    bitmap_rounds_failed: int = 0
+    #: Conservative page-granularity reports emitted in place of word
+    #: reports whose bitmaps could not be retrieved.
+    page_granularity_reports: int = 0
     #: Per-epoch history, in check order (includes consolidation passes).
     epoch_history: List["EpochSummary"] = field(default_factory=list)
 
@@ -196,22 +203,30 @@ class RaceDetector:
         self.stats.intervals_used += len(used)
 
         # Step 4: the extra barrier round retrieving exactly the bitmaps
-        # the check list names.
+        # the check list names.  On a lossy network an owner's exchange can
+        # exhaust its retry budget; those owners' bitmaps stay unavailable
+        # and the affected check entries degrade to page granularity below.
         needed = bitmaps_needed(check_list)
-        self._charge_bitmap_round(needed, master_clock)
-        self.stats.bitmaps_fetched += len(needed)
+        failed_owners = self._charge_bitmap_round(needed, master_clock)
+        if failed_owners:
+            fetched = sum(1 for pid, _idx, _page, _kind in needed
+                          if pid not in failed_owners)
+        else:
+            fetched = len(needed)
+        self.stats.bitmaps_fetched += fetched
 
         # Step 5: bitmap comparison -> race reports.
         new_races: List[RaceReport] = []
         for entry in check_list:
-            new_races.extend(self._compare_entry(entry, epoch, master_clock))
+            new_races.extend(self._compare_entry(entry, epoch, master_clock,
+                                                 failed_owners))
 
         self.stats.epoch_history.append(EpochSummary(
             epoch=epoch, intervals=search.intervals,
             comparisons=search.comparisons,
             concurrent_pairs=search.concurrent_pairs,
             check_list_entries=len(check_list),
-            bitmaps_fetched=len(needed), races=len(new_races)))
+            bitmaps_fetched=fetched, races=len(new_races)))
 
         if self.first_races_only and new_races:
             if self._first_race_epoch is None:
@@ -230,11 +245,18 @@ class RaceDetector:
     # Internals.
     # ------------------------------------------------------------------ #
     def _charge_bitmap_round(self, needed: Set[Tuple[int, int, int, str]],
-                             master_clock: VirtualClock) -> None:
+                             master_clock: VirtualClock) -> Set[int]:
         """Message accounting for the bitmap retrieval round: one request
-        and one reply per process that owns needed bitmaps."""
+        and one reply per process that owns needed bitmaps.
+
+        Returns the pids whose exchange exhausted the reliable channel's
+        retry budget (always empty on a fault-free network); their bitmaps
+        are unavailable and the caller degrades those check entries to
+        page-granularity reports instead of silently dropping them.
+        """
+        failed: Set[int] = set()
         if not needed:
-            return
+            return failed
         by_owner: Dict[int, int] = {}
         for pid, _idx, _page, _kind in needed:
             by_owner[pid] = by_owner.get(pid, 0) + 1
@@ -245,20 +267,35 @@ class RaceDetector:
                 self.sizer.ints(4) + self.sizer.bitmap())
             if pid == self.master_pid:
                 continue  # master's own bitmaps are local
-            msg = self.transport.send(
-                "bitmap_request", self.master_pid, pid, None, req_bytes,
-                master_clock, category=CostCategory.BITMAPS)
-            self.transport.stats.add_bitmap_round_bytes(msg.nbytes)
-            msg = self.transport.send(
-                "bitmap_reply", pid, self.master_pid, None, reply_bytes,
-                master_clock, category=CostCategory.BITMAPS,
-                fragmentable=True)
-            self.transport.stats.add_bitmap_round_bytes(msg.nbytes)
+            try:
+                msg = self.transport.send(
+                    "bitmap_request", self.master_pid, pid, None, req_bytes,
+                    master_clock, category=CostCategory.BITMAPS)
+                self.transport.stats.add_bitmap_round_bytes(msg.nbytes)
+                msg = self.transport.send(
+                    "bitmap_reply", pid, self.master_pid, None, reply_bytes,
+                    master_clock, category=CostCategory.BITMAPS,
+                    fragmentable=True)
+                self.transport.stats.add_bitmap_round_bytes(msg.nbytes)
+            except RetryExhaustedError:
+                failed.add(pid)
+                self.stats.bitmap_rounds_failed += 1
+        return failed
 
     def _compare_entry(self, entry: CheckEntry, epoch: int,
-                       master_clock: VirtualClock) -> List[RaceReport]:
+                       master_clock: VirtualClock,
+                       failed_owners: Set[int] = frozenset()
+                       ) -> List[RaceReport]:
         races: List[RaceReport] = []
         a, b = entry.a, entry.b
+        if failed_owners and (a.pid in failed_owners
+                              or b.pid in failed_owners):
+            # Word bitmaps for one side never arrived: degrade this entry
+            # to explicit page-granularity reports rather than dropping it.
+            for ov in entry.pages:
+                races.extend(self._report_page_granularity(
+                    entry, ov, epoch))
+            return races
         for ov in entry.pages:
             if ov.write_write:
                 races.extend(self._intersect(
@@ -275,6 +312,38 @@ class RaceDetector:
                     a, "write", a.write_bitmaps.get(ov.page),
                     b, "read", b.read_bitmaps.get(ov.page),
                     ov.page, RaceKind.READ_WRITE, epoch, master_clock))
+        return races
+
+    def _report_page_granularity(self, entry: CheckEntry, ov,
+                                 epoch: int) -> List[RaceReport]:
+        """Conservative fallback for a check-list page whose word bitmaps
+        could not be retrieved: report the *whole page* as potentially
+        racy, explicitly flagged ``granularity="page"`` — the affected
+        range is never silently dropped (ROADMAP robustness goal; compare
+        Butelle & Coti's requirement that detection metadata survive an
+        unreliable substrate)."""
+        a, b = entry.a, entry.b
+        combos = []
+        if ov.write_write:
+            combos.append(("write", "write", RaceKind.WRITE_WRITE))
+        if ov.a_read_b_write:
+            combos.append(("read", "write", RaceKind.READ_WRITE))
+        if ov.a_write_b_read:
+            combos.append(("write", "read", RaceKind.READ_WRITE))
+        races: List[RaceReport] = []
+        addr = ov.page * self.page_size_words
+        for a_access, b_access, kind in combos:
+            report = RaceReport(
+                kind=kind, addr=addr, symbol=self.symbol_for(addr),
+                page=ov.page, offset=0, epoch=epoch,
+                a=IntervalRef(a.pid, a.index, a_access, a.sync_label),
+                b=IntervalRef(b.pid, b.index, b_access, b.sync_label),
+                granularity="page")
+            key = report.key()
+            if key not in self._seen_keys:
+                self._seen_keys.add(key)
+                self.stats.page_granularity_reports += 1
+                races.append(report)
         return races
 
     def _intersect(self, a: Interval, a_access: str, bm_a: Optional[Bitmap],

@@ -46,6 +46,11 @@ class RaceReport:
         offset: Word offset within the page.
         epoch: Barrier epoch in which both intervals live.
         a, b: The two unordered accesses (pid, interval index, kind).
+        granularity: ``"word"`` for the exact bitmap-intersected report;
+            ``"page"`` when the bitmap fetch exhausted its retries on a
+            lossy network and the detector conservatively reported the
+            whole overlapping page instead of silently dropping the check
+            entry (``addr``/``offset`` then point at the page base).
     """
 
     kind: RaceKind
@@ -56,15 +61,22 @@ class RaceReport:
     epoch: int
     a: IntervalRef
     b: IntervalRef
+    granularity: str = "word"
 
     def key(self) -> Tuple:
         """Deduplication key: the same word/interval pair reported once,
         regardless of comparison order."""
         sides = tuple(sorted([(self.a.pid, self.a.index, self.a.access),
                               (self.b.pid, self.b.index, self.b.access)]))
-        return (self.kind, self.addr) + sides
+        return (self.kind, self.granularity, self.addr) + sides
 
     def format(self) -> str:
+        if self.granularity == "page":
+            return (f"POSSIBLE DATA RACE (page-granularity, "
+                    f"{self.kind.value}) on {self.symbol} "
+                    f"(page={self.page}) epoch {self.epoch}: "
+                    f"{self.a} vs {self.b} "
+                    f"[word bitmaps unavailable: retry budget exhausted]")
         return (f"DATA RACE ({self.kind.value}) on {self.symbol} "
                 f"(addr={self.addr}, page={self.page}+{self.offset}) "
                 f"epoch {self.epoch}: {self.a} vs {self.b}")

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.net.faults import FaultPlan, plan_from_rates
+from repro.net.reliable import (DEFAULT_RETRY_BUDGET, DEFAULT_TIMEOUT_CYCLES)
 from repro.net.transport import DEFAULT_MAX_DATAGRAM
 from repro.sim.costmodel import CostModel
 
@@ -48,6 +50,22 @@ class DsmConfig:
         max_datagram: Transport datagram limit in bytes.
         fragmentable_messages: Allow oversize messages to fragment (the
             paper's planned communication-layer fix) instead of raising.
+        loss_rate: Per-datagram drop probability of the simulated network.
+            Any nonzero fault rate (or an explicit ``fault_plan``) routes
+            all traffic through the reliable channel
+            (:mod:`repro.net.reliable`); all zero (default), the bare
+            transport is used and ledgers are byte-identical to a
+            fault-free build.
+        duplicate_rate: Per-datagram duplication probability.
+        reorder_rate: Per-datagram reordering (late delivery) probability.
+        fault_seed: Seed of the deterministic fault schedule
+            (``--fault-seed``); independent of the scheduling ``seed``.
+        retry_budget: Total transmission attempts per fragment before the
+            reliable channel gives up (``--retry-budget``).
+        retransmit_timeout: First-retry timeout in cycles; doubles per
+            retry, capped by the channel.
+        fault_plan: Full per-tag fault plan; overrides the scalar rates
+            (which then only serve as CLI-level shorthand).
         cost_model: Cycle costs for virtual time.
         track_access_trace: Record every shared access for the baseline
             (oracle) detectors; expensive, test-scale inputs only.
@@ -67,6 +85,13 @@ class DsmConfig:
     seed: int = 0
     max_datagram: int = DEFAULT_MAX_DATAGRAM
     fragmentable_messages: bool = True
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    fault_seed: int = 0
+    retry_budget: int = DEFAULT_RETRY_BUDGET
+    retransmit_timeout: float = DEFAULT_TIMEOUT_CYCLES
+    fault_plan: Optional[FaultPlan] = None
     cost_model: CostModel = field(default_factory=CostModel)
     track_access_trace: bool = False
     #: Retain every transport message for inspection (tests/debugging).
@@ -83,7 +108,29 @@ class DsmConfig:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.diff_write_detection and self.protocol != "mw":
             raise ValueError("diff_write_detection requires the multi-writer protocol")
+        for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1): {rate}")
+        if self.retry_budget < 1:
+            raise ValueError("retry_budget must be at least 1 attempt")
+        if self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be positive")
 
     @property
     def num_pages(self) -> int:
         return self.segment_words // self.page_size_words
+
+    def effective_fault_plan(self) -> Optional[FaultPlan]:
+        """The fault plan in force: an explicit ``fault_plan`` wins, else
+        a uniform plan from the scalar rates, else ``None`` (no faults)."""
+        if self.fault_plan is not None:
+            return self.fault_plan if self.fault_plan.enabled else None
+        return plan_from_rates(self.loss_rate, self.duplicate_rate,
+                               self.reorder_rate, self.fault_seed)
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when any traffic can experience injected faults (and the
+        reliable channel is therefore in the send path)."""
+        return self.effective_fault_plan() is not None

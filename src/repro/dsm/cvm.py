@@ -38,6 +38,7 @@ from repro.dsm.vector_clock import VectorClock
 from repro.errors import (AllocationError, SegmentationFault,
                           SynchronizationError)
 from repro.net.message import WireSizer
+from repro.net.reliable import ReliableChannel
 from repro.net.stats import TrafficStats
 from repro.net.transport import Transport
 from repro.sim.costmodel import CostCategory, CostLedger
@@ -117,6 +118,18 @@ class CVM:
         self.transport = Transport(config.cost_model,
                                    max_datagram=config.max_datagram,
                                    trace=config.trace_messages)
+        # With faults configured, all protocol traffic goes through the
+        # reliable channel (fragmentation, ack/retransmit, duplicate
+        # suppression); with faults off — the default — the bare transport
+        # stays in the path so every ledger and stat is byte-identical to
+        # a build without the robustness layer.
+        plan = config.effective_fault_plan()
+        if plan is not None:
+            self.net = ReliableChannel(
+                self.transport, plan, retry_budget=config.retry_budget,
+                timeout_cycles=config.retransmit_timeout)
+        else:
+            self.net = self.transport
         self.segment = SharedSegment(config.segment_words,
                                      config.page_size_words)
         self.directory = PageDirectory(config.num_pages, config.nprocs)
@@ -133,7 +146,7 @@ class CVM:
         if config.detection:
             self.detector = RaceDetector(
                 config.page_size_words, config.cost_model, self.sizer,
-                self.transport, self.segment.symbol_for, master_pid=0,
+                self.net, self.segment.symbol_for, master_pid=0,
                 first_races_only=config.first_races_only,
                 fast_path=config.detector_fast_path)
         #: Optional replay controller (see :mod:`repro.replay`): records or
@@ -282,10 +295,10 @@ class CVM:
         clock = node.clock
         granter = st.last_releaser if st.last_releaser is not None else st.manager
         if st.manager != node.pid:
-            self.transport.send("lock_request", node.pid, st.manager, None,
+            self.net.send("lock_request", node.pid, st.manager, None,
                                 sizer.ints(3), clock)
         if granter not in (st.manager, node.pid):
-            self.transport.send("lock_forward", st.manager, granter, None,
+            self.net.send("lock_forward", st.manager, granter, None,
                                 sizer.ints(3) + sizer.vector_clock(), clock)
         if granter != node.pid:
             horizon = st.last_release_vc
@@ -294,7 +307,7 @@ class CVM:
                     node.vc, horizon)
             else:
                 body, read_bytes = sizer.vector_clock(), 0
-            msg = self.transport.send("lock_grant", granter, node.pid, None,
+            msg = self.net.send("lock_grant", granter, node.pid, None,
                                       body, clock, fragmentable=self.config.fragmentable_messages)
             if read_bytes:
                 self.transport.stats.add_read_notice_bytes(read_bytes)
@@ -318,7 +331,7 @@ class CVM:
                 self.lock_order.record_grant(lid, nxt)
             _recs, body, read_bytes = self._consistency_payload(
                 self.nodes[nxt].vc, st.last_release_vc)
-            msg = self.transport.send("lock_grant", pid, nxt, None, body,
+            msg = self.net.send("lock_grant", pid, nxt, None, body,
                                       node.clock, fragmentable=self.config.fragmentable_messages)
             if read_bytes:
                 self.transport.stats.add_read_notice_bytes(read_bytes)
@@ -363,7 +376,7 @@ class CVM:
         ev.setter = pid
         ev.set_vc = node.vc.copy()
         node.open_interval(f"event({eid}) set")
-        msg = self.transport.send(
+        msg = self.net.send(
             "event_set", pid, (pid + 1) % self.config.nprocs, None,
             self.sizer.ints(2) + self.sizer.vector_clock(), node.clock)
         ev.set_time = msg.arrival_time
@@ -404,7 +417,7 @@ class CVM:
         if pid != bar.master:
             recs, body, read_bytes = self._consistency_payload(
                 master_node.vc, horizon)
-            msg = self.transport.send("barrier_arrival", pid, bar.master,
+            msg = self.net.send("barrier_arrival", pid, bar.master,
                                       None, body, node.clock,
                                       fragmentable=self.config.fragmentable_messages)
             if read_bytes:
@@ -445,7 +458,7 @@ class CVM:
                 continue
             recs, body, read_bytes = self._consistency_payload(
                 self.nodes[other].vc, release_vc)
-            msg = self.transport.send("barrier_release", bar.master, other,
+            msg = self.net.send("barrier_release", bar.master, other,
                                       None, body, master_clock,
                                       fragmentable=self.config.fragmentable_messages)
             if read_bytes:

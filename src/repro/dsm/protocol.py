@@ -158,12 +158,12 @@ class Protocol:
         sizer = system.sizer
         if source_pid == node.pid:
             return  # local source: no messages
-        system.transport.send("page_request", node.pid, manager, None,
+        system.net.send("page_request", node.pid, manager, None,
                               sizer.ints(4), node.clock)
         if manager != source_pid:
-            system.transport.send("page_forward", manager, source_pid, None,
+            system.net.send("page_forward", manager, source_pid, None,
                                   sizer.ints(4), node.clock)
-        system.transport.send("page_reply", source_pid, node.pid, None,
+        system.net.send("page_reply", source_pid, node.pid, None,
                               sizer.ints(2) + sizer.page_data(), node.clock)
 
 
@@ -263,7 +263,7 @@ class MultiWriterProtocol(Protocol):
                     page_id, diff_to_bitmap(diff, page_words))
             home = system.directory.manager_of(page_id)
             if home != node.pid and diff:
-                system.transport.send(
+                system.net.send(
                     "diff_flush", node.pid, home, None,
                     system.sizer.diff(len(diff)), node.clock)
                 home_copy = self._source_copy(home, page_id)

@@ -58,6 +58,27 @@ class MessageTooLargeError(NetworkError):
         )
 
 
+class RetryExhaustedError(NetworkError):
+    """The reliable channel gave up on a fragment after its retry budget.
+
+    Carries enough context for callers to degrade gracefully — the race
+    detector turns an exhausted bitmap-round fetch into an explicit
+    page-granularity report instead of silently dropping the check entry.
+    """
+
+    def __init__(self, tag: str, src: int, dst: int, seqno: int,
+                 fragment: int, attempts: int):
+        self.tag = tag
+        self.src = src
+        self.dst = dst
+        self.seqno = seqno
+        self.fragment = fragment
+        self.attempts = attempts
+        super().__init__(
+            f"message {tag!r} P{src}->P{dst} seq {seqno} fragment {fragment}: "
+            f"gave up after {attempts} attempts")
+
+
 class DsmError(ReproError):
     """Illegal use of the DSM substrate (bad address, protocol violation...)."""
 

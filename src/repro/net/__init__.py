@@ -12,8 +12,13 @@ Wire sizes are computed from explicit field-size rules
 read notices" column can be regenerated from actual byte counts.
 """
 
+from repro.net.faults import (FaultDecision, FaultInjector, FaultPlan,
+                              FaultRates)
 from repro.net.message import Message, WireSizer
+from repro.net.reliable import ReliableChannel
 from repro.net.stats import TrafficStats
 from repro.net.transport import Transport
 
-__all__ = ["Message", "Transport", "TrafficStats", "WireSizer"]
+__all__ = ["FaultDecision", "FaultInjector", "FaultPlan", "FaultRates",
+           "Message", "ReliableChannel", "Transport", "TrafficStats",
+           "WireSizer"]

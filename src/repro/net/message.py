@@ -10,16 +10,15 @@ process, page-sized data blocks, and one bit per word for access bitmaps.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 #: Encoded size of a 32-bit integer field.
 INT_BYTES = 4
-#: Fixed per-message header (src, dst, tag, length, seqno...).
+#: Fixed per-message header (src, dst, tag, length, seqno...).  When a
+#: fragmentable message exceeds the datagram limit, *every* UDP fragment
+#: carries its own copy of this header.
 HEADER_BYTES = 24
-
-_message_counter = itertools.count()
 
 
 @dataclass
@@ -33,10 +32,16 @@ class Message:
         dst: Receiving process id.
         payload: Arbitrary protocol data (not serialized; sizes are
             accounted separately).
-        nbytes: Wire size in bytes, including the header.
+        nbytes: Wire size in bytes, including one header per fragment.
         send_time: Sender's virtual time at transmission.
         arrival_time: Receiver-side virtual arrival time (filled in by the
             transport).
+        seqno: Per-transport sequence number, assigned by
+            :meth:`~repro.net.transport.Transport.send` at send time so
+            that back-to-back runs in one interpreter see identical
+            seqnos (record/replay determinism).  Messages constructed
+            directly default to 0.
+        nfragments: How many datagrams the message occupied on the wire.
     """
 
     tag: str
@@ -46,7 +51,8 @@ class Message:
     nbytes: int
     send_time: float = 0.0
     arrival_time: float = 0.0
-    seqno: int = field(default_factory=lambda: next(_message_counter))
+    seqno: int = 0
+    nfragments: int = 1
 
     def __post_init__(self) -> None:
         if self.nbytes < HEADER_BYTES:

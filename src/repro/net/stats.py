@@ -25,9 +25,26 @@ class TrafficStats:
     read_notice_bytes: int = 0
     #: Bytes consumed by the extra bitmap-retrieval round (detector addition).
     bitmap_round_bytes: int = 0
+    #: Datagrams the fault layer dropped (each forces a retransmission
+    #: unless the retry budget is exhausted).
+    drops: int = 0
+    #: Retransmitted datagrams (charged to ``CostCategory.RETRANSMIT``).
+    retransmits: int = 0
+    #: Network-duplicated datagrams, suppressed at the receiver by the
+    #: reliable channel's per-channel sequence numbers.
+    duplicates: int = 0
+    #: Datagrams delivered out of order (modeled as extra arrival delay).
+    reorders: int = 0
+    #: Acknowledgements sent by the reliable channel.
+    acks: int = 0
+    #: Fragments abandoned after the retry budget ran out.
+    retry_failures: int = 0
 
-    def record(self, tag: str, src: int, dst: int, nbytes: int) -> None:
-        self.messages_by_tag[tag] += 1
+    def record(self, tag: str, src: int, dst: int, nbytes: int,
+               count: int = 1) -> None:
+        """Record ``count`` datagrams (fragments of one logical message)
+        totalling ``nbytes`` on the wire."""
+        self.messages_by_tag[tag] += count
         self.bytes_by_tag[tag] += nbytes
         self.bytes_by_pair[(src, dst)] += nbytes
 
@@ -61,4 +78,15 @@ class TrafficStats:
             "bytes": self.total_bytes,
             "read_notice_bytes": self.read_notice_bytes,
             "bitmap_round_bytes": self.bitmap_round_bytes,
+        }
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Reliable-channel counters (all zero on a fault-free network)."""
+        return {
+            "drops": self.drops,
+            "retransmits": self.retransmits,
+            "duplicates": self.duplicates,
+            "reorders": self.reorders,
+            "acks": self.acks,
+            "retry_failures": self.retry_failures,
         }

@@ -10,6 +10,7 @@ receiver's virtual clock.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Optional
 
 from repro.errors import MessageTooLargeError
@@ -30,6 +31,9 @@ class Transport:
                  max_datagram: int = DEFAULT_MAX_DATAGRAM,
                  stats: Optional[TrafficStats] = None,
                  trace: bool = False):
+        if max_datagram <= HEADER_BYTES:
+            raise ValueError(
+                f"max_datagram must exceed the {HEADER_BYTES}-byte header")
         self.cost_model = cost_model
         self.max_datagram = max_datagram
         self.stats = stats or TrafficStats()
@@ -37,6 +41,11 @@ class Transport:
         #: payloads are references, so keep runs small).
         self.trace = trace
         self.messages: list = []
+        #: Per-transport sequence counter: seqnos are a property of *this*
+        #: channel, not the process, so back-to-back runs in one
+        #: interpreter (equivalence suites, benchmarks) assign identical
+        #: seqnos and record/replay stays deterministic.
+        self._seqno = itertools.count()
 
     def send(self, tag: str, src: int, dst: int, payload: Any,
              body_bytes: int, src_clock: VirtualClock,
@@ -65,11 +74,17 @@ class Transport:
             The :class:`Message`, with ``arrival_time`` set to the virtual
             time at which the receiver may consume it.
         """
-        nbytes = HEADER_BYTES + body_bytes
-        if nbytes > self.max_datagram and not fragmentable:
-            raise MessageTooLargeError(nbytes, self.max_datagram, tag)
+        if HEADER_BYTES + body_bytes > self.max_datagram and not fragmentable:
+            raise MessageTooLargeError(HEADER_BYTES + body_bytes,
+                                       self.max_datagram, tag)
 
-        nfragments = max(1, -(-nbytes // self.max_datagram))
+        # Every UDP fragment carries its own header, so a fragmented body
+        # is split over the *usable* per-datagram capacity and the wire
+        # size charges one header per fragment (a single-fragment message
+        # is accounted exactly as before).
+        capacity = self.max_datagram - HEADER_BYTES
+        nfragments = max(1, -(-body_bytes // capacity))
+        nbytes = body_bytes + HEADER_BYTES * nfragments
         cycles = (self.cost_model.cycles_per_byte * nbytes
                   + self.cost_model.msg_latency * nfragments)
         send_time = src_clock.now
@@ -78,8 +93,9 @@ class Transport:
 
         msg = Message(tag=tag, src=src, dst=dst, payload=payload,
                       nbytes=nbytes, send_time=send_time,
-                      arrival_time=arrival)
-        self.stats.record(tag, src, dst, nbytes)
+                      arrival_time=arrival, seqno=next(self._seqno),
+                      nfragments=nfragments)
+        self.stats.record(tag, src, dst, nbytes, count=nfragments)
         if self.trace:
             self.messages.append(msg)
         return msg

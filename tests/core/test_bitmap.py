@@ -49,6 +49,49 @@ def test_set_range_spanning_bytes():
     assert all(bm.test(i) == (5 <= i < 25) for i in range(32))
 
 
+def test_set_range_within_one_byte():
+    # Range entirely inside one byte: first_full > last_full path.
+    bm = Bitmap(32)
+    bm.set_range(9, 3)  # bits 9-11, all in byte 1
+    assert all(bm.test(i) == (9 <= i < 12) for i in range(32))
+    assert bm.count() == 3
+
+
+def test_set_range_ending_exactly_on_byte_boundary():
+    # End == multiple of 8: no trailing partial byte may be touched.
+    bm = Bitmap(32)
+    bm.set_range(3, 13)  # bits 3-15, ends exactly at bit 16
+    assert all(bm.test(i) == (3 <= i < 16) for i in range(32))
+    # And starting exactly on a boundary too: pure whole-byte fill.
+    bm2 = Bitmap(32)
+    bm2.set_range(8, 16)
+    assert all(bm2.test(i) == (8 <= i < 24) for i in range(32))
+
+
+def test_set_range_full_page():
+    bm = Bitmap(64)
+    bm.set_range(0, 64)
+    assert bm.count() == 64
+    assert all(bm.test(i) for i in range(64))
+
+
+def test_set_range_single_bit_at_byte_edges():
+    for start in (0, 7, 8, 15, 31):
+        bm = Bitmap(32)
+        bm.set_range(start, 1)
+        assert bm.count() == 1 and bm.test(start)
+
+
+def test_set_range_bounds_and_degenerate():
+    bm = Bitmap(16)
+    bm.set_range(5, 0)  # no-op
+    assert not bm.any()
+    with pytest.raises(IndexError):
+        bm.set_range(10, 7)  # runs past the end
+    with pytest.raises(ValueError):
+        bm.set_range(0, -1)
+
+
 def test_set_range_within_single_byte():
     bm = Bitmap(16)
     bm.set_range(1, 3)

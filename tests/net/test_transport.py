@@ -56,6 +56,53 @@ def test_oversize_fragmentable_charges_multiple_latencies():
     assert extra_latency >= t.cost_model.msg_latency * 3
 
 
+def test_fragments_each_carry_their_own_header():
+    # Every UDP fragment is a datagram with its own header: wire bytes,
+    # cycle charges and message counts must all scale with the fragment
+    # count, not assume one header per logical message.
+    t = make_transport(max_datagram=256)
+    clock = VirtualClock()
+    capacity = 256 - HEADER_BYTES
+    body = 1000
+    nfrag = -(-body // capacity)  # ceil
+    msg = t.send("big", 0, 1, None, body_bytes=body, src_clock=clock,
+                 fragmentable=True)
+    assert msg.nfragments == nfrag
+    assert msg.nbytes == body + nfrag * HEADER_BYTES
+    assert t.stats.messages_by_tag["big"] == nfrag
+    assert t.stats.bytes_by_tag["big"] == msg.nbytes
+    expected_cycles = (t.cost_model.cycles_per_byte * msg.nbytes
+                       + t.cost_model.msg_latency * nfrag)
+    assert clock.now == pytest.approx(expected_cycles)
+
+
+def test_single_fragment_accounting_unchanged():
+    # A message that fits one datagram is accounted exactly as before the
+    # per-fragment-header fix: one header, one latency, one stats entry.
+    t = make_transport(max_datagram=256)
+    clock = VirtualClock()
+    msg = t.send("fits", 0, 1, None, body_bytes=200, src_clock=clock,
+                 fragmentable=True)
+    assert msg.nfragments == 1
+    assert msg.nbytes == 200 + HEADER_BYTES
+    assert t.stats.messages_by_tag["fits"] == 1
+
+
+def test_body_exactly_filling_fragments():
+    t = make_transport(max_datagram=128)
+    capacity = 128 - HEADER_BYTES
+    clock = VirtualClock()
+    msg = t.send("exact", 0, 1, None, body_bytes=3 * capacity,
+                 src_clock=clock, fragmentable=True)
+    assert msg.nfragments == 3
+    assert msg.nbytes == 3 * 128
+
+
+def test_max_datagram_must_exceed_header():
+    with pytest.raises(ValueError):
+        make_transport(max_datagram=HEADER_BYTES)
+
+
 def test_deliver_advances_receiver_clock():
     t = make_transport()
     src, dst = VirtualClock(), VirtualClock()
