@@ -49,19 +49,46 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--retry-budget", type=int, default=8,
                    help="total transmission attempts per fragment before "
                         "the reliable channel gives up (default 8)")
+    p.add_argument("--crash-rate", type=float, default=0.0,
+                   help="per-event node-crash probability, evaluated at "
+                        "shared accesses, message sends and barrier "
+                        "arrivals (default 0: no crashes, byte-identical "
+                        "to builds without the crash-tolerance layer)")
+    p.add_argument("--crash-seed", type=int, default=0,
+                   help="seed of the deterministic crash schedule; "
+                        "independent of --seed and --fault-seed "
+                        "(see docs/robustness.md)")
+    p.add_argument("--crash-at", action="append", default=[],
+                   metavar="PID:GEN",
+                   help="crash process PID at its arrival to barrier "
+                        "generation GEN (repeatable; P0 is the master "
+                        "and cannot be targeted)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="take barrier-consistent per-node checkpoints and "
+                        "persist them under DIR; a crashed node then "
+                        "recovers with its detection metadata intact, so "
+                        "race reports match the crash-free run exactly")
     p.add_argument("--report", default=None, metavar="PATH",
                    help="also write the race report (one sorted line per "
                         "race) to PATH — lets CI diff reports across "
-                        "fault seeds and loss rates")
+                        "fault seeds, loss rates and crash seeds "
+                        "(unverifiable crash-degradation entries go to "
+                        "stdout only, keeping the file comparable)")
 
 
 def _fault_overrides(args) -> dict:
-    """DsmConfig overrides carrying the CLI's fault-injection flags."""
+    """DsmConfig overrides carrying the CLI's fault- and crash-injection
+    flags."""
+    from repro.sim.crash import parse_crash_at
     return dict(loss_rate=args.loss_rate,
                 duplicate_rate=args.duplicate_rate,
                 reorder_rate=args.reorder_rate,
                 fault_seed=args.fault_seed,
-                retry_budget=args.retry_budget)
+                retry_budget=args.retry_budget,
+                crash_rate=args.crash_rate,
+                crash_seed=args.crash_seed,
+                crash_at=parse_crash_at(args.crash_at),
+                checkpoint_dir=args.checkpoint_dir)
 
 
 def cmd_apps(_args) -> int:
@@ -105,6 +132,24 @@ def cmd_run(args) -> int:
             print(f"  degradation: {st.page_granularity_reports} "
                   f"page-granularity report(s) after "
                   f"{st.bitmap_rounds_failed} failed bitmap round(s)")
+    cs = res.crash_stats
+    if res.config.crashes_enabled:
+        print(f"  crashes: {cs.crashes} injected "
+              f"({cs.deaths_declared} declared dead by the master), "
+              f"{cs.recoveries_from_checkpoint} checkpoint recoveries, "
+              f"{cs.recoveries_without_checkpoint} restart recoveries, "
+              f"{cs.intervals_lost} interval(s) lost")
+    if res.config.checkpointing_enabled:
+        print(f"  checkpoints: {cs.checkpoints_written} written, "
+              f"{cs.checkpoint_bytes} bytes"
+              + (f" -> {res.config.checkpoint_dir}"
+                 if res.config.checkpoint_dir else ""))
+    if res.unverifiable:
+        print(f"\n{len(res.unverifiable)} unverifiable concurrent "
+              f"pair entr(ies) — crash-lost metadata "
+              f"({st.unverifiable_pairs} distinct pair(s)):")
+        for entry in res.unverifiable:
+            print(f"  {entry}")
     if res.races:
         print(f"\n{len(res.races)} data race(s):")
         for race in res.races:

@@ -64,6 +64,9 @@ class EpochSummary:
     check_list_entries: int
     bitmaps_fetched: int
     races: int
+    #: Check entries that could not be resolved because a crash destroyed
+    #: one side's word bitmaps (reported, never dropped).
+    unverifiable: int = 0
 
 
 @dataclass
@@ -87,6 +90,15 @@ class DetectorStats:
     #: Conservative page-granularity reports emitted in place of word
     #: reports whose bitmaps could not be retrieved.
     page_granularity_reports: int = 0
+    #: Concurrent overlapping pairs whose race check could not be run
+    #: because a node crash (recovered without a checkpoint) destroyed the
+    #: word bitmaps of at least one side.  Each such pair is surfaced as
+    #: explicit ``verdict="unverifiable"`` report entries — the degraded
+    #: detector stays sound by never silently dropping a check.
+    unverifiable_pairs: int = 0
+    #: Individual unverifiable report entries emitted (>= pair count: one
+    #: per access-kind combination per overlapping page).
+    unverifiable_reports: int = 0
     #: Per-epoch history, in check order (includes consolidation passes).
     epoch_history: List["EpochSummary"] = field(default_factory=list)
 
@@ -136,7 +148,12 @@ class RaceDetector:
         self.actual_comparisons = 0
         self.stats = DetectorStats()
         self.races: List[RaceReport] = []
+        #: ``verdict="unverifiable"`` entries (crash-lost metadata), kept
+        #: apart from confirmed races so race artifacts stay comparable
+        #: across runs while the degradation is still fully reported.
+        self.unverifiable: List[RaceReport] = []
         self._seen_keys: Set[Tuple] = set()
+        self._unverifiable_pair_keys: Set[Tuple] = set()
         self._first_race_epoch: Optional[int] = None
         self._empty = Bitmap(page_size_words)
 
@@ -202,11 +219,24 @@ class RaceDetector:
             used.add((entry.b.pid, entry.b.index))
         self.stats.intervals_used += len(used)
 
+        # Crash degradation: an interval marked *lost* kept its page-level
+        # notices (they travelled on synchronization messages before the
+        # crash) but its word bitmaps died with the node, so it still
+        # participates in the concurrency search and the check list — its
+        # entries just cannot be bitmap-resolved.  They are split off here
+        # and reported as explicit ``unverifiable`` entries in step 5.
+        lost_present = any(rec.lost for rec in intervals)
+        if lost_present:
+            resolvable = [e for e in check_list
+                          if not (e.a.lost or e.b.lost)]
+        else:
+            resolvable = check_list
+
         # Step 4: the extra barrier round retrieving exactly the bitmaps
         # the check list names.  On a lossy network an owner's exchange can
         # exhaust its retry budget; those owners' bitmaps stay unavailable
         # and the affected check entries degrade to page granularity below.
-        needed = bitmaps_needed(check_list)
+        needed = bitmaps_needed(resolvable)
         failed_owners = self._charge_bitmap_round(needed, master_clock)
         if failed_owners:
             fetched = sum(1 for pid, _idx, _page, _kind in needed
@@ -215,18 +245,26 @@ class RaceDetector:
             fetched = len(needed)
         self.stats.bitmaps_fetched += fetched
 
-        # Step 5: bitmap comparison -> race reports.
+        # Step 5: bitmap comparison -> race reports.  Entries touching a
+        # lost interval go to the unverifiable side channel instead.
         new_races: List[RaceReport] = []
+        new_unverifiable: List[RaceReport] = []
         for entry in check_list:
+            if lost_present and (entry.a.lost or entry.b.lost):
+                new_unverifiable.extend(
+                    self._report_unverifiable(entry, epoch))
+                continue
             new_races.extend(self._compare_entry(entry, epoch, master_clock,
                                                  failed_owners))
+        self.unverifiable.extend(new_unverifiable)
 
         self.stats.epoch_history.append(EpochSummary(
             epoch=epoch, intervals=search.intervals,
             comparisons=search.comparisons,
             concurrent_pairs=search.concurrent_pairs,
             check_list_entries=len(check_list),
-            bitmaps_fetched=fetched, races=len(new_races)))
+            bitmaps_fetched=fetched, races=len(new_races),
+            unverifiable=len(new_unverifiable)))
 
         if self.first_races_only and new_races:
             if self._first_race_epoch is None:
@@ -344,6 +382,49 @@ class RaceDetector:
                 self._seen_keys.add(key)
                 self.stats.page_granularity_reports += 1
                 races.append(report)
+        return races
+
+    def _report_unverifiable(self, entry: CheckEntry,
+                             epoch: int) -> List[RaceReport]:
+        """Degraded-mode reporting for a check entry touching a crash-lost
+        interval: the pair is concurrent and its notices overlap, but the
+        word bitmaps of the lost side died with the node, so the race can
+        be neither confirmed nor refuted.  Every such pair is surfaced as
+        explicit ``verdict="unverifiable"`` page-granularity entries naming
+        the lost interval(s) — soundness of the degraded detector means
+        never dropping a check silently."""
+        a, b = entry.a, entry.b
+        pair_key = tuple(sorted([(a.pid, a.index), (b.pid, b.index)]))
+        if pair_key not in self._unverifiable_pair_keys:
+            self._unverifiable_pair_keys.add(pair_key)
+            self.stats.unverifiable_pairs += 1
+        lost = tuple(f"P{rec.pid}:{rec.index}"
+                     for rec in sorted((a, b), key=lambda r: (r.pid, r.index))
+                     if rec.lost)
+        combos = []
+        races: List[RaceReport] = []
+        for ov in entry.pages:
+            combos.clear()
+            if ov.write_write:
+                combos.append(("write", "write", RaceKind.WRITE_WRITE))
+            if ov.a_read_b_write:
+                combos.append(("read", "write", RaceKind.READ_WRITE))
+            if ov.a_write_b_read:
+                combos.append(("write", "read", RaceKind.READ_WRITE))
+            addr = ov.page * self.page_size_words
+            for a_access, b_access, kind in combos:
+                report = RaceReport(
+                    kind=kind, addr=addr, symbol=self.symbol_for(addr),
+                    page=ov.page, offset=0, epoch=epoch,
+                    a=IntervalRef(a.pid, a.index, a_access, a.sync_label),
+                    b=IntervalRef(b.pid, b.index, b_access, b.sync_label),
+                    granularity="page", verdict="unverifiable",
+                    lost_intervals=lost)
+                key = report.key()
+                if key not in self._seen_keys:
+                    self._seen_keys.add(key)
+                    self.stats.unverifiable_reports += 1
+                    races.append(report)
         return races
 
     def _intersect(self, a: Interval, a_access: str, bm_a: Optional[Bitmap],

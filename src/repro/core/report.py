@@ -51,6 +51,15 @@ class RaceReport:
             lossy network and the detector conservatively reported the
             whole overlapping page instead of silently dropping the check
             entry (``addr``/``offset`` then point at the page base).
+        verdict: ``"race"`` for an actual detected race; ``"unverifiable"``
+            when a node crash destroyed the word bitmaps of one of the
+            intervals before the check could run (recovery without a
+            checkpoint), so the concurrent overlapping pair can neither be
+            confirmed nor refuted.  Unverifiable entries are always
+            page-granularity and never silently dropped — soundness of the
+            degraded detector depends on surfacing them.
+        lost_intervals: For unverifiable entries, the ``P<pid>:<index>``
+            ids of the crash-lost intervals involved.
     """
 
     kind: RaceKind
@@ -62,15 +71,23 @@ class RaceReport:
     a: IntervalRef
     b: IntervalRef
     granularity: str = "word"
+    verdict: str = "race"
+    lost_intervals: Tuple[str, ...] = ()
 
     def key(self) -> Tuple:
         """Deduplication key: the same word/interval pair reported once,
         regardless of comparison order."""
         sides = tuple(sorted([(self.a.pid, self.a.index, self.a.access),
                               (self.b.pid, self.b.index, self.b.access)]))
-        return (self.kind, self.granularity, self.addr) + sides
+        return (self.kind, self.granularity, self.verdict, self.addr) + sides
 
     def format(self) -> str:
+        if self.verdict == "unverifiable":
+            lost = ", ".join(self.lost_intervals)
+            return (f"UNVERIFIABLE (crash-lost metadata, "
+                    f"{self.kind.value}) on {self.symbol} "
+                    f"(page={self.page}) epoch {self.epoch}: "
+                    f"{self.a} vs {self.b} [lost: {lost}]")
         if self.granularity == "page":
             return (f"POSSIBLE DATA RACE (page-granularity, "
                     f"{self.kind.value}) on {self.symbol} "

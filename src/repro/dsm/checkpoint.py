@@ -1,0 +1,306 @@
+"""Barrier-consistent node checkpoints.
+
+Barriers are natural consistent cuts in lazy release consistency: at a
+barrier departure every write notice of the closed epoch has been applied,
+the checked epoch's trace information has been discarded, and the departing
+node's freshly-opened interval is still empty.  A snapshot taken there
+captures one node's complete DSM state — vector clock, page copies (with
+protection states and twins), access counters, and the node's live interval
+records including their word bitmaps — with nothing in flight.
+
+Snapshots serialize to a canonical JSON form (sorted keys, no whitespace),
+so byte size is deterministic and doubles as the recovery-cost input.  With
+``--checkpoint-dir`` the :class:`CheckpointManager` also persists one file
+per (pid, barrier generation), which enables *cross-run* restoration of a
+long simulation's per-node state (``CheckpointManager.load_dir``) in
+addition to the in-run crash recovery driven by :mod:`repro.dsm.cvm`.
+
+The round-trip contract (asserted property-style in
+``tests/dsm/test_checkpoint.py``): ``snapshot → serialize → restore →
+snapshot`` is idempotent for every registered application at any barrier
+generation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.bitmap import Bitmap
+from repro.dsm.interval import Interval
+from repro.dsm.page import PageCopy, PageState
+from repro.dsm.vector_clock import VectorClock
+from repro.errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (node ← checkpoint)
+    from repro.dsm.node import IntervalStore, Node
+
+#: Bump when the snapshot schema changes incompatibly.
+FORMAT_VERSION = 1
+
+_FILE_RE = re.compile(r"ckpt_p(\d+)_g(\d+)\.json$")
+
+
+# ---------------------------------------------------------------------- #
+# Interval (de)serialization.
+# ---------------------------------------------------------------------- #
+def _bitmaps_to_dict(bitmaps: Dict[int, Bitmap]) -> Dict[str, str]:
+    return {str(page): bm.to_bytes().hex()
+            for page, bm in sorted(bitmaps.items())}
+
+
+def _bitmaps_from_dict(encoded: Dict[str, str]) -> Dict[int, Bitmap]:
+    return {int(page): Bitmap.from_bytes(bytes.fromhex(hexed))
+            for page, hexed in encoded.items()}
+
+
+def interval_to_dict(rec: Interval) -> Dict[str, Any]:
+    """Full serializable form of one interval record (bitmaps included —
+    the whole point of checkpointing is that detection metadata survives)."""
+    return {
+        "pid": rec.pid,
+        "index": rec.index,
+        "epoch": rec.epoch,
+        "vc": list(rec.vc.entries),
+        "page_size_words": rec.page_size_words,
+        "sync_label": rec.sync_label,
+        "closed": rec.closed,
+        "lost": rec.lost,
+        "write_pages": sorted(rec.write_pages),
+        "read_pages": sorted(rec.read_pages),
+        "write_bitmaps": _bitmaps_to_dict(rec.write_bitmaps),
+        "read_bitmaps": _bitmaps_to_dict(rec.read_bitmaps),
+    }
+
+
+def interval_from_dict(data: Dict[str, Any]) -> Interval:
+    rec = Interval(data["pid"], data["index"], VectorClock(data["vc"]),
+                   data["epoch"], data["page_size_words"],
+                   sync_label=data["sync_label"])
+    rec.write_pages = set(data["write_pages"])
+    rec.read_pages = set(data["read_pages"])
+    rec.write_bitmaps = _bitmaps_from_dict(data["write_bitmaps"])
+    rec.read_bitmaps = _bitmaps_from_dict(data["read_bitmaps"])
+    rec.closed = data["closed"]
+    rec.lost = data["lost"]
+    return rec
+
+
+# ---------------------------------------------------------------------- #
+# Node snapshots.
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """One node's barrier-consistent state, as a plain serializable dict.
+
+    Two snapshots are equal iff their canonical JSON forms are equal —
+    the round-trip tests lean on this.
+    """
+
+    data: Dict[str, Any]
+
+    @property
+    def pid(self) -> int:
+        return self.data["pid"]
+
+    @property
+    def generation(self) -> int:
+        """Number of barriers the node had completed when snapped (0 = the
+        initial pre-application checkpoint)."""
+        return self.data["generation"]
+
+    @property
+    def epoch(self) -> int:
+        return self.data["epoch"]
+
+    @property
+    def clock_now(self) -> float:
+        """The node's virtual clock at snapshot time (recorded for
+        cross-run resume; in-run recovery charges restore time explicitly
+        and never rewinds clocks)."""
+        return self.data["clock_now"]
+
+    def to_json(self) -> str:
+        return json.dumps(self.data, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size — the byte count recovery and checkpoint-write
+        costs are charged on."""
+        return len(self.to_json().encode("utf-8"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "NodeSnapshot":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"unparseable checkpoint: {exc}") from exc
+        if data.get("version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint format version {data.get('version')!r} "
+                f"not supported (expected {FORMAT_VERSION})")
+        return cls(data)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, NodeSnapshot)
+                and self.to_json() == other.to_json())
+
+
+def snapshot_node(node: "Node", store: "IntervalStore",
+                  generation: int) -> NodeSnapshot:
+    """Capture one node's complete DSM state at a barrier cut."""
+    pages: Dict[str, Any] = {}
+    for page_id, copy in sorted(node.pages.items()):
+        pages[str(page_id)] = {
+            "state": copy.state.value,
+            "data": copy.data,
+            "twin": copy.twin,
+        }
+    records = store.by_pid().get(node.pid, {})
+    data = {
+        "version": FORMAT_VERSION,
+        "pid": node.pid,
+        "generation": generation,
+        "epoch": node.epoch,
+        "clock_now": node.clock.now,
+        "vc": list(node.vc.entries),
+        "intervals_created": node.intervals_created,
+        "shared_instr_calls": node.shared_instr_calls,
+        "private_instr_calls": node.private_instr_calls,
+        "twinned_pages": list(node.twinned_pages),
+        "pages": pages,
+        "current": interval_to_dict(node.current),
+        "store_records": [interval_to_dict(records[idx])
+                          for idx in sorted(records)],
+    }
+    return NodeSnapshot(data)
+
+
+def restore_node(snap: NodeSnapshot, node: "Node",
+                 store: "IntervalStore") -> None:
+    """Install a snapshot's state into ``node`` (and its slice of the
+    interval store), overwriting whatever was there.
+
+    The node's virtual *clock* is deliberately untouched: recovery time is
+    an accounting decision of the caller (in-run recovery charges restart +
+    restore + re-execution under ``CostCategory.RECOVERY``; clocks never
+    rewind).
+    """
+    if snap.pid != node.pid:
+        raise CheckpointError(
+            f"checkpoint of P{snap.pid} cannot restore node P{node.pid}")
+    data = snap.data
+    node.vc = VectorClock(data["vc"])
+    node.epoch = data["epoch"]
+    node.intervals_created = data["intervals_created"]
+    node.shared_instr_calls = data["shared_instr_calls"]
+    node.private_instr_calls = data["private_instr_calls"]
+    node.twinned_pages = list(data["twinned_pages"])
+    node.pages = {}
+    for page_key, page_data in data["pages"].items():
+        copy = PageCopy(int(page_key), node.config.page_size_words)
+        copy.state = PageState(page_data["state"])
+        copy.data = (None if page_data["data"] is None
+                     else list(page_data["data"]))
+        copy.twin = (None if page_data["twin"] is None
+                     else list(page_data["twin"]))
+        node.pages[int(page_key)] = copy
+    node.current = interval_from_dict(data["current"])
+    restored = [interval_from_dict(d) for d in data["store_records"]]
+    store.by_pid()[node.pid] = {rec.index: rec for rec in restored}
+
+
+# ---------------------------------------------------------------------- #
+# The manager: latest-per-pid snapshots, optional disk persistence.
+# ---------------------------------------------------------------------- #
+class CheckpointManager:
+    """Holds the latest barrier checkpoint of every node.
+
+    With a ``directory``, every checkpoint is also serialized to
+    ``ckpt_p<pid>_g<generation>.json`` there — one file per (node, barrier
+    generation) — so a later process can rehydrate the run's per-node state
+    with :meth:`load_dir` (cross-run resume of long simulations).
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        if directory is not None:
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot create checkpoint directory {directory!r}: "
+                    f"{exc}") from exc
+        self._latest: Dict[int, NodeSnapshot] = {}
+
+    def take(self, node: "Node", store: "IntervalStore",
+             generation: int) -> NodeSnapshot:
+        """Snapshot ``node`` at barrier ``generation``; retain it as the
+        node's latest checkpoint and persist it when a directory is set."""
+        snap = snapshot_node(node, store, generation)
+        self._latest[node.pid] = snap
+        if self.directory is not None:
+            path = os.path.join(
+                self.directory, f"ckpt_p{node.pid}_g{generation}.json")
+            try:
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(snap.to_json())
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot write checkpoint {path!r}: {exc}") from exc
+        return snap
+
+    def latest(self, pid: int) -> Optional[NodeSnapshot]:
+        return self._latest.get(pid)
+
+    def restore_latest(self, node: "Node", store: "IntervalStore") -> NodeSnapshot:
+        """Restore ``node`` from its latest checkpoint; raises
+        :class:`CheckpointError` if none was ever taken."""
+        snap = self.latest(node.pid)
+        if snap is None:
+            raise CheckpointError(f"no checkpoint exists for P{node.pid}")
+        restore_node(snap, node, store)
+        return snap
+
+    @staticmethod
+    def load_snapshot(path: str) -> NodeSnapshot:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return NodeSnapshot.from_json(fh.read())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path!r}: {exc}") from exc
+
+    @classmethod
+    def load_dir(cls, directory: str) -> "CheckpointManager":
+        """Rehydrate a manager from a checkpoint directory, keeping the
+        highest-generation snapshot of every pid (the state a resumed run
+        would restart each node from)."""
+        manager = cls(directory=None)
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot list checkpoint directory {directory!r}: "
+                f"{exc}") from exc
+        best: Dict[int, int] = {}
+        chosen: Dict[int, str] = {}
+        for name in names:
+            m = _FILE_RE.match(name)
+            if not m:
+                continue
+            pid, gen = int(m.group(1)), int(m.group(2))
+            if gen >= best.get(pid, -1):
+                best[pid] = gen
+                chosen[pid] = name
+        for pid, name in chosen.items():
+            manager._latest[pid] = cls.load_snapshot(
+                os.path.join(directory, name))
+        return manager
+
+    def snapshots(self) -> List[NodeSnapshot]:
+        """Latest snapshots, in pid order."""
+        return [self._latest[pid] for pid in sorted(self._latest)]

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.net.faults import FaultPlan, plan_from_rates
 from repro.net.reliable import (DEFAULT_RETRY_BUDGET, DEFAULT_TIMEOUT_CYCLES)
 from repro.net.transport import DEFAULT_MAX_DATAGRAM
 from repro.sim.costmodel import CostModel
+from repro.sim.crash import (CrashPlan, DEFAULT_CRASH_DETECT_TIMEOUT,
+                             plan_from_options)
 
 #: DECstation Alphas used 8 KB pages; with 8-byte words that is 1024 words.
 DEFAULT_PAGE_SIZE_WORDS = 1024
@@ -66,6 +68,34 @@ class DsmConfig:
             retry, capped by the channel.
         fault_plan: Full per-tag fault plan; overrides the scalar rates
             (which then only serve as CLI-level shorthand).
+        crash_rate: Per-event node-crash probability (``--crash-rate``);
+            evaluated at shared accesses, message sends and barrier
+            arrivals of non-master processes.  0 (default) disables crash
+            injection entirely and keeps every artifact byte-identical to
+            a crash-free build.
+        crash_seed: Seed of the deterministic crash schedule
+            (``--crash-seed``); independent of both the scheduling ``seed``
+            and the network ``fault_seed``.
+        crash_at: Scheduled crashes as ``(pid, barrier_generation)`` pairs
+            (``--crash-at PID:GEN``): the node crashes at its arrival at
+            that barrier generation regardless of ``crash_rate``.  The
+            barrier master (P0) cannot be scheduled — master failover is a
+            ROADMAP item.
+        crash_plan: Full crash plan; overrides the scalar options (which
+            then only serve as CLI-level shorthand).
+        crash_recovery: When True (default), a crashed node is recovered —
+            from its latest barrier checkpoint when checkpointing is on,
+            or by restart-and-reexecute with *lost* detection metadata
+            when it is off.  False = fail-stop: the node simply dies and
+            the survivors' next barrier deadlocks (the no-tolerance
+            baseline).
+        crash_detect_timeout: Extra virtual cycles the barrier master
+            waits beyond the latest live arrival before declaring a
+            missing node dead and starting recovery.
+        checkpoint: Take barrier-consistent in-memory checkpoints of every
+            node (enables recovery with no lost metadata).
+        checkpoint_dir: Directory to persist checkpoints to
+            (``--checkpoint-dir``); implies ``checkpoint``.
         cost_model: Cycle costs for virtual time.
         track_access_trace: Record every shared access for the baseline
             (oracle) detectors; expensive, test-scale inputs only.
@@ -92,6 +122,14 @@ class DsmConfig:
     retry_budget: int = DEFAULT_RETRY_BUDGET
     retransmit_timeout: float = DEFAULT_TIMEOUT_CYCLES
     fault_plan: Optional[FaultPlan] = None
+    crash_rate: float = 0.0
+    crash_seed: int = 0
+    crash_at: Tuple[Tuple[int, int], ...] = ()
+    crash_plan: Optional[CrashPlan] = None
+    crash_recovery: bool = True
+    crash_detect_timeout: float = DEFAULT_CRASH_DETECT_TIMEOUT
+    checkpoint: bool = False
+    checkpoint_dir: Optional[str] = None
     cost_model: CostModel = field(default_factory=CostModel)
     track_access_trace: bool = False
     #: Retain every transport message for inspection (tests/debugging).
@@ -116,6 +154,23 @@ class DsmConfig:
             raise ValueError("retry_budget must be at least 1 attempt")
         if self.retransmit_timeout <= 0:
             raise ValueError("retransmit_timeout must be positive")
+        if not 0.0 <= self.crash_rate < 1.0:
+            raise ValueError(f"crash_rate must be in [0, 1): {self.crash_rate}")
+        if self.crash_detect_timeout <= 0:
+            raise ValueError("crash_detect_timeout must be positive")
+        self.crash_at = tuple(sorted(set(
+            (int(pid), int(gen)) for pid, gen in self.crash_at)))
+        for pid, gen in self.crash_at:
+            if not 0 <= pid < self.nprocs:
+                raise ValueError(
+                    f"crash_at pid {pid} out of range for nprocs={self.nprocs}")
+            if pid == 0:
+                raise ValueError(
+                    "crash_at cannot target P0: the barrier master runs the "
+                    "detector and cannot crash (master failover is a ROADMAP "
+                    "item)")
+            if gen < 0:
+                raise ValueError(f"crash_at generation must be >= 0: {gen}")
 
     @property
     def num_pages(self) -> int:
@@ -134,3 +189,23 @@ class DsmConfig:
         """True when any traffic can experience injected faults (and the
         reliable channel is therefore in the send path)."""
         return self.effective_fault_plan() is not None
+
+    def effective_crash_plan(self) -> Optional[CrashPlan]:
+        """The crash plan in force: an explicit ``crash_plan`` wins, else
+        a plan from the scalar options, else ``None`` (no crashes)."""
+        if self.crash_plan is not None:
+            return self.crash_plan if self.crash_plan.enabled else None
+        return plan_from_options(self.crash_rate, self.crash_seed,
+                                 self.crash_at)
+
+    @property
+    def crashes_enabled(self) -> bool:
+        """True when any node can crash (and the recovery machinery is
+        therefore armed)."""
+        return self.effective_crash_plan() is not None
+
+    @property
+    def checkpointing_enabled(self) -> bool:
+        """True when barrier checkpoints are taken (explicitly requested
+        or implied by a checkpoint directory)."""
+        return self.checkpoint or self.checkpoint_dir is not None

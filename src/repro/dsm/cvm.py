@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.baseline.trace import TraceEvent
 from repro.core.detector import DetectorStats, RaceDetector
 from repro.core.report import RaceReport
+from repro.dsm.checkpoint import CheckpointManager
 from repro.dsm.config import DsmConfig
 from repro.dsm.interval import Interval, intervals_unseen_by
 from repro.dsm.memory import SharedSegment
@@ -35,13 +36,14 @@ from repro.dsm.protocol import make_protocol
 from repro.dsm.sync import (BarrierState, EventState, GrantInfo,
                             LockState)
 from repro.dsm.vector_clock import VectorClock
-from repro.errors import (AllocationError, SegmentationFault,
+from repro.errors import (AllocationError, NodeCrashed, SegmentationFault,
                           SynchronizationError)
 from repro.net.message import WireSizer
 from repro.net.reliable import ReliableChannel
 from repro.net.stats import TrafficStats
 from repro.net.transport import Transport
 from repro.sim.costmodel import CostCategory, CostLedger
+from repro.sim.crash import CrashInjector, CrashRecord, CrashStats
 from repro.sim.policy import make_policy
 from repro.sim.scheduler import Scheduler
 
@@ -72,6 +74,13 @@ class RunResult:
     protocol_stats: Dict[str, int] = field(default_factory=dict)
     #: Per-lock (acquires, contended) counters.
     lock_stats: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: Crash/recovery counters (all zero when crashes are disabled).
+    crash_stats: CrashStats = field(default_factory=CrashStats)
+    #: ``verdict="unverifiable"`` entries: concurrent overlapping pairs
+    #: whose race check could not run because a crash destroyed one side's
+    #: word bitmaps (recovery without a checkpoint).  Kept apart from
+    #: ``races`` so race artifacts stay comparable across runs.
+    unverifiable: List[RaceReport] = field(default_factory=list)
 
     @property
     def runtime_seconds(self) -> float:
@@ -149,6 +158,22 @@ class CVM:
                 self.net, self.segment.symbol_for, master_pid=0,
                 first_races_only=config.first_races_only,
                 fast_path=config.detector_fast_path)
+        # Crash tolerance.  With no crash plan — the default — the
+        # injector is None, every hook below is a cheap no-op, and all
+        # artifacts are byte-identical to a build without this layer.
+        cplan = config.effective_crash_plan()
+        if cplan is not None:
+            for cpid, _gen in cplan.at:
+                if cpid == self.barrier_state.master:
+                    raise ValueError(
+                        "crash_at cannot target the barrier master "
+                        f"(P{self.barrier_state.master}); master failover "
+                        "is a ROADMAP item")
+        self._crasher = CrashInjector(cplan) if cplan is not None else None
+        self.crash_stats = CrashStats()
+        self.checkpoints: Optional[CheckpointManager] = None
+        if config.checkpointing_enabled:
+            self.checkpoints = CheckpointManager(config.checkpoint_dir)
         #: Optional replay controller (see :mod:`repro.replay`): records or
         #: enforces the order in which contended locks are granted.
         self.lock_order = None
@@ -170,6 +195,11 @@ class CVM:
         for pid in range(self.config.nprocs):
             proc = self.scheduler.spawn(self._proc_main, app, pid, args)
             self.nodes.append(Node(pid, self.config, proc.clock, self.store))
+        if self.checkpoints is not None:
+            # Initial checkpoints (barrier generation 0): every node can be
+            # recovered even if it dies before the first barrier.
+            for node in self.nodes:
+                self._take_checkpoint(node, generation=0)
         self.scheduler.run()
         return self._collect()
 
@@ -199,7 +229,120 @@ class CVM:
             protocol_stats=self.protocol.stats(),
             lock_stats={lid: (st.acquires, st.contended)
                         for lid, st in sorted(self.locks.items())},
+            crash_stats=self.crash_stats,
+            unverifiable=(list(self.detector.unverifiable)
+                          if self.detector else []),
         )
+
+    # ------------------------------------------------------------------ #
+    # Crash injection, recovery and checkpoints.
+    #
+    # The simulation models crashes *by accounting*: the deterministic
+    # scheduler guarantees that re-executing a node from its last
+    # barrier-consistent state reproduces exactly the same computation, so
+    # a recovered run's Python state needs no rewinding — a crash costs
+    # virtual time (restart + state restoration + re-execution debt),
+    # recovery traffic, and, when checkpointing is off, the node's
+    # current-epoch detection metadata (its word bitmaps never leave the
+    # node until the bitmap round, so they die with it; the page-level
+    # notices survive on already-sent synchronization messages).  With
+    # ``crash_recovery=False`` the crash is fail-stop instead: the
+    # simulated process unwinds with :class:`NodeCrashed` and the
+    # survivors' next barrier deadlocks.
+    # ------------------------------------------------------------------ #
+    def _maybe_crash(self, pid: int, kind: str,
+                     generation: Optional[int] = None) -> None:
+        """Evaluate one potential crash point for ``pid``.  No-op without a
+        crash plan; one crash per node per epoch (a node with a pending
+        unrecovered crash is immune until its next barrier)."""
+        if self._crasher is None:
+            return
+        node = self.nodes[pid]
+        if node.crashed is not None:
+            return
+        doomed = (generation is not None
+                  and self._crasher.scheduled_at(pid, generation))
+        if not doomed:
+            doomed = self._crasher.decide(pid, kind)
+        if not doomed:
+            return
+        if pid == self.barrier_state.master:
+            # The master runs the detector and the recovery protocol;
+            # rate-derived hits on it are suppressed (and counted) until
+            # master failover lands (ROADMAP).
+            self.crash_stats.master_crashes_suppressed += 1
+            return
+        self._crash_node(node, kind)
+
+    def _crash_node(self, node: Node, kind: str) -> None:
+        node.crashed = CrashRecord(kind=kind, time=node.clock.now,
+                                   epoch=node.epoch)
+        self.crash_stats.record_crash(kind)
+        if not self.config.crash_recovery:
+            raise NodeCrashed(node.pid, kind, node.clock.now)
+
+    def _charge_node_recovery(self, node: Node) -> None:
+        """Recovery accounting, run at the crashed node's next barrier
+        arrival (all charges under ``CostCategory.RECOVERY``, which stays
+        out of the overhead breakdown).
+
+        With checkpointing: restore the latest snapshot (restore cost
+        proportional to its serialized size) and re-execute from the
+        checkpoint cut — determinism regenerates the post-checkpoint
+        metadata exactly, so nothing is lost.  Without: refetch every valid
+        page copy from its manager over the (assumed reliable) bare
+        transport, re-execute the whole epoch, and mark the node's
+        current-epoch intervals *lost* — their bitmaps are unrecoverable
+        and the detector degrades those checks to explicit unverifiable
+        reports.
+        """
+        rec = node.crashed
+        clock = node.clock
+        cm = self.config.cost_model
+        clock.advance(cm.crash_restart, CostCategory.RECOVERY)
+        if self.checkpoints is not None:
+            snap = self.checkpoints.latest(node.pid)
+            nbytes = snap.nbytes if snap is not None else 0
+            clock.advance(cm.checkpoint_restore_per_byte * nbytes,
+                          CostCategory.RECOVERY)
+            restart_point = node.last_checkpoint_time
+            self.crash_stats.recoveries_from_checkpoint += 1
+        else:
+            for page_id in sorted(node.pages):
+                copy = node.pages[page_id]
+                if not copy.valid:
+                    continue
+                src = self.directory.manager_of(page_id)
+                if src == node.pid:
+                    continue
+                msg = self.transport.send(
+                    "recovery_page", src, node.pid, None,
+                    self.sizer.ints(2) + self.sizer.page_data(), clock,
+                    category=CostCategory.RECOVERY, fragmentable=True)
+                clock.wait_until(msg.arrival_time)
+            table = self.store.by_pid().get(node.pid, {})
+            for stored in table.values():
+                if stored.epoch == node.epoch and not stored.lost:
+                    stored.lost = True
+                    self.crash_stats.intervals_lost += 1
+            if not node.current.lost:
+                node.current.lost = True
+                self.crash_stats.intervals_lost += 1
+            restart_point = node.epoch_start_time
+            self.crash_stats.recoveries_without_checkpoint += 1
+        # Re-execution debt: the work between the restart point and the
+        # crash is done twice; the second pass is recovery overhead.
+        clock.advance(max(0.0, rec.time - restart_point),
+                      CostCategory.RECOVERY)
+
+    def _take_checkpoint(self, node: Node, generation: int) -> None:
+        snap = self.checkpoints.take(node, self.store, generation)
+        node.clock.advance(
+            self.config.cost_model.checkpoint_write_per_byte * snap.nbytes,
+            CostCategory.RECOVERY)
+        node.last_checkpoint_time = node.clock.now
+        self.crash_stats.checkpoints_written += 1
+        self.crash_stats.checkpoint_bytes += snap.nbytes
 
     # ------------------------------------------------------------------ #
     # Interval helpers.
@@ -245,6 +388,8 @@ class CVM:
     def lock_acquire(self, pid: int, lid: int) -> None:
         node = self.nodes[pid]
         self.scheduler.yield_control(pid)
+        if self._crasher is not None:
+            self._maybe_crash(pid, "send")  # the lock-request send
         st = self._lock_state(lid)
         if self.lock_order is not None:
             # Replay enforcement gates only the free-lock fast path: when
@@ -315,6 +460,8 @@ class CVM:
 
     def lock_release(self, pid: int, lid: int) -> None:
         node = self.nodes[pid]
+        if self._crasher is not None:
+            self._maybe_crash(pid, "send")  # the grant/release send
         st = self._lock_state(lid)
         if st.holder != pid:
             raise SynchronizationError(
@@ -367,6 +514,8 @@ class CVM:
         """Release half of an event: close the interval, record the
         consistency horizon, wake any waiters."""
         node = self.nodes[pid]
+        if self._crasher is not None:
+            self._maybe_crash(pid, "send")  # the event_set send
         ev = self._event_state(eid)
         if ev.is_set:
             raise SynchronizationError(
@@ -410,6 +559,14 @@ class CVM:
         node = self.nodes[pid]
         self.scheduler.yield_control(pid)
         bar = self.barrier_state
+        if self._crasher is not None:
+            self._maybe_crash(pid, "barrier", generation=bar.generation)
+            if node.crashed is not None:
+                # The node died earlier this epoch (or right here): it is
+                # recovered before it can arrive, so its arrival message —
+                # and the arrival time the master sees — carries the full
+                # recovery cost.
+                self._charge_node_recovery(node)
         closed = self._close_interval(node)
         horizon = node.vc.copy()
         node.open_interval("barrier arrival")
@@ -442,6 +599,8 @@ class CVM:
         bar = self.barrier_state
         master_node = self.nodes[bar.master]
         master_clock = master_node.clock
+        if self._crasher is not None:
+            self._declare_deaths(bar, master_clock)
         master_clock.wait_until(max(bar.arrival_times.values()))
         if self.detector is not None:
             epoch_recs = self.store.epoch_intervals(self.epoch)
@@ -475,6 +634,35 @@ class CVM:
         self.epoch += 1
         bar.reset_for_next_generation()
 
+    def _declare_deaths(self, bar: BarrierState, master_clock) -> None:
+        """Master-side half of the recovery protocol, run before the
+        barrier analysis: any process with a pending crash missed the
+        deadline, so the master waits out its virtual-time timeout past the
+        last live arrival, declares the silent nodes dead, and sends each a
+        recovery request (bare transport: the recovery channel is assumed
+        reliable).  The dead node's effective arrival is then whatever is
+        later — its self-recovered arrival, or recovery triggered by the
+        master's request plus the node's crash-to-arrival span."""
+        crashed = [p for p in range(self.config.nprocs)
+                   if self.nodes[p].crashed is not None]
+        if not crashed:
+            return
+        live = [t for p, t in bar.arrival_times.items() if p not in crashed]
+        deadline = ((max(live) if live else master_clock.now)
+                    + self.config.crash_detect_timeout)
+        master_clock.wait_until(deadline)
+        for p in sorted(crashed):
+            bar.declare_dead(p)
+            self.crash_stats.deaths_declared += 1
+            rec = self.nodes[p].crashed
+            msg = self.transport.send(
+                "recovery_request", bar.master, p, None,
+                self.sizer.ints(2), master_clock,
+                category=CostCategory.RECOVERY)
+            arrived = bar.arrival_times[p]
+            bar.arrival_times[p] = max(
+                arrived, msg.arrival_time + (arrived - rec.time))
+
     def _barrier_depart(self, pid: int) -> None:
         node = self.nodes[pid]
         bar = self.barrier_state
@@ -486,6 +674,13 @@ class CVM:
         node.vc.observe(release_vc)
         node.epoch = self.epoch
         node.open_interval("barrier depart")
+        # The departure is the epoch's consistent cut: a recovered node's
+        # crash is fully absorbed here, and (when enabled) each node
+        # checkpoints itself before touching the new epoch.
+        node.crashed = None
+        node.epoch_start_time = node.clock.now
+        if self.checkpoints is not None:
+            self._take_checkpoint(node, generation=bar.barriers_completed)
 
     # ------------------------------------------------------------------ #
     # Consolidation between barriers (§6.3).
@@ -545,6 +740,9 @@ class Env:
         # per-word dict lookups entirely on the common path.
         self._trace = system.config.track_access_trace
         self._watching = system.pc_watch is not None
+        #: Crash injector (None in the default, crash-free configuration —
+        #: the per-access hook then costs one attribute test).
+        self._crasher = system._crasher
 
     # ------------------------------------------------------------------ #
     # Allocation.
@@ -673,6 +871,8 @@ class Env:
                     if hits is not None:
                         hits.append((self.pid, self._node.vc[self.pid],
                                      site or "<unknown site>", is_write))
+        if self._crasher is not None:
+            self.system._maybe_crash(self.pid, "access")
         self._accesses_since_yield += count
         if self._accesses_since_yield >= YIELD_EVERY:
             self._accesses_since_yield = 0

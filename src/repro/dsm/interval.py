@@ -30,7 +30,7 @@ class Interval:
 
     __slots__ = ("pid", "index", "vc", "epoch", "write_pages", "read_pages",
                  "write_bitmaps", "read_bitmaps", "closed",
-                 "page_size_words", "sync_label")
+                 "page_size_words", "sync_label", "lost")
 
     def __init__(self, pid: int, index: int, vc: VectorClock, epoch: int,
                  page_size_words: int, sync_label: str = ""):
@@ -49,6 +49,13 @@ class Interval:
         #: Human-readable description of the synchronization op that opened
         #: the interval (for race reports).
         self.sync_label = sync_label
+        #: Crash tolerance: True when the owning node died without a
+        #: checkpoint and this interval's word bitmaps went with it.  The
+        #: page-level notices survive (they travelled on synchronization
+        #: messages), so the interval still enters the concurrency search
+        #: and the check list — but any check pair touching it is reported
+        #: as ``verdict="unverifiable"`` instead of being bitmap-resolved.
+        self.lost = False
 
     # ------------------------------------------------------------------ #
     # Access recording (called by the instrumentation runtime).

@@ -104,6 +104,14 @@ class Node:
         self.shared_instr_calls = 0
         self.private_instr_calls = 0
         self.intervals_created = 0
+        # Crash tolerance (repro.sim.crash / repro.dsm.cvm).  ``crashed``
+        # holds the pending CrashRecord between the injected crash and the
+        # recovery performed at the node's next barrier; the two times feed
+        # the recovery-cost model (re-execution debt is measured from the
+        # restore point back to the crash).
+        self.crashed = None  # Optional[repro.sim.crash.CrashRecord]
+        self.epoch_start_time = 0.0
+        self.last_checkpoint_time = 0.0
         # First interval.
         self.vc.tick(pid)
         self.current = Interval(pid, self.vc[pid], self.vc.copy(), self.epoch,

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.dsm.vector_clock import VectorClock
+from repro.errors import SynchronizationError
 
 
 @dataclass
@@ -94,18 +95,37 @@ class BarrierState:
         #: (global vc snapshot, receiver-side arrival time of release msg).
         self.release_box: Dict[int, Tuple[VectorClock, float]] = {}
         self.barriers_completed = 0
+        #: Processes the master declared dead (crash recovery) during the
+        #: current generation; cleared at every reset.  Diagnostic state:
+        #: the recovery protocol itself lives in ``repro.dsm.cvm``.
+        self.dead_this_generation: Set[int] = set()
+        #: Total deaths declared across all generations.
+        self.deaths_declared = 0
 
     def arrive(self, pid: int, now: float) -> bool:
         """Record an arrival; True if this was the last process in."""
         if pid in self.arrived:
-            raise ValueError(f"P{pid} arrived twice at barrier generation "
-                             f"{self.generation}")
+            raise SynchronizationError(
+                f"P{pid} arrived twice at barrier generation "
+                f"{self.generation}")
         self.arrived.append(pid)
         self.arrival_times[pid] = now
         return len(self.arrived) == self.nprocs
+
+    def declare_dead(self, pid: int) -> None:
+        """Record that the master's virtual-time timeout expired for
+        ``pid`` this generation (the node missed the barrier and recovery
+        was initiated)."""
+        if pid == self.master:
+            raise SynchronizationError(
+                "the barrier master cannot be declared dead "
+                "(master failover is unsupported; see ROADMAP)")
+        self.dead_this_generation.add(pid)
+        self.deaths_declared += 1
 
     def reset_for_next_generation(self) -> None:
         self.generation += 1
         self.barriers_completed += 1
         self.arrived.clear()
         self.arrival_times.clear()
+        self.dead_this_generation.clear()

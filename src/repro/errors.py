@@ -17,12 +17,23 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """Every live simulated process is blocked and no message is in flight."""
+    """Every live simulated process is blocked and no message is in flight.
 
-    def __init__(self, blocked: dict):
+    ``crashed`` lists processes that died fail-stop (``NodeCrashed`` with
+    recovery disabled) before the deadlock — the usual culprits when the
+    blocked processes are waiting at a barrier the dead node will never
+    reach.
+    """
+
+    def __init__(self, blocked: dict, crashed=()):
         self.blocked = dict(blocked)
+        self.crashed = tuple(sorted(crashed))
         detail = ", ".join(f"P{pid}: {why}" for pid, why in sorted(blocked.items()))
-        super().__init__(f"deadlock: all live processes blocked ({detail})")
+        msg = f"deadlock: all live processes blocked ({detail})"
+        if self.crashed:
+            dead = ", ".join(f"P{pid}" for pid in self.crashed)
+            msg += f" after unrecovered crash of {dead}"
+        super().__init__(msg)
 
 
 class ProcessFailure(SimulationError):
@@ -79,6 +90,27 @@ class RetryExhaustedError(NetworkError):
             f"gave up after {attempts} attempts")
 
 
+class NodeCrashed(ReproError):
+    """A simulated node died at an injected crash point.
+
+    With crash *recovery* enabled (the default when crashes are configured)
+    this exception is never raised: the crash is absorbed by the
+    checkpoint/recovery protocol and only costs virtual time (and, without
+    checkpoints, detection metadata).  With ``crash_recovery=False`` the
+    crash is fail-stop: the exception unwinds the simulated process, the
+    scheduler parks it in ``ProcState.CRASHED``, and processes that later
+    wait on it deadlock — reproducing the fragility that motivated the
+    crash-tolerance layer.
+    """
+
+    def __init__(self, pid: int, kind: str, at_cycles: float):
+        self.pid = pid
+        self.kind = kind
+        self.at_cycles = at_cycles
+        super().__init__(
+            f"node P{pid} crashed at {kind} (virtual cycle {at_cycles:.0f})")
+
+
 class DsmError(ReproError):
     """Illegal use of the DSM substrate (bad address, protocol violation...)."""
 
@@ -98,6 +130,10 @@ class SynchronizationError(DsmError):
 
 class AllocationError(DsmError):
     """The shared segment has no room for a requested allocation."""
+
+
+class CheckpointError(DsmError):
+    """A node checkpoint could not be written, read, or restored."""
 
 
 class InstrumentationError(ReproError):

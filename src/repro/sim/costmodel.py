@@ -52,6 +52,14 @@ class CostCategory(enum.Enum):
     #: it is deliberately *not* in :data:`OVERHEAD_CATEGORIES`: tables and
     #: figures regenerated with faults disabled stay byte-identical.
     RETRANSMIT = "retransmit"
+    #: Crash-fault tolerance: barrier checkpoints, death-declaration
+    #: timeouts, recovery traffic, checkpoint restores and the deterministic
+    #: re-execution of lost work (:mod:`repro.sim.crash`,
+    #: :mod:`repro.dsm.checkpoint`).  Like RETRANSMIT it lies outside the
+    #: paper's taxonomy and outside :data:`OVERHEAD_CATEGORIES`, so with
+    #: crashes and checkpointing disabled (the default) every regenerated
+    #: table and figure stays byte-identical.
+    RECOVERY = "recovery"
 
     @property
     def is_overhead(self) -> bool:
@@ -59,8 +67,9 @@ class CostCategory(enum.Enum):
 
 
 #: Categories whose charges are race-detection overhead, in Figure 3 order.
-#: RETRANSMIT is excluded: it is network-robustness overhead outside the
-#: paper's taxonomy, reported separately (see docs/robustness.md).
+#: RETRANSMIT and RECOVERY are excluded: they are robustness overhead
+#: (network and node layer respectively) outside the paper's taxonomy,
+#: reported separately (see docs/robustness.md).
 OVERHEAD_CATEGORIES = (
     CostCategory.CVM_MODS,
     CostCategory.PROC_CALL,
@@ -138,6 +147,19 @@ class CostModel:
     #: Comparing one pair of word bitmaps (constant in page size; charged
     #: per word for generality).  Charged to BITMAPS.
     bitmap_compare_per_word: float = 0.5
+
+    # ------------------------------------------------------------------ #
+    # Crash tolerance costs (all charged to RECOVERY; zero traffic on the
+    # default configuration — crashes and checkpointing disabled).
+    # ------------------------------------------------------------------ #
+    #: Serializing one checkpoint byte to local stable storage at a
+    #: barrier departure.
+    checkpoint_write_per_byte: float = 0.5
+    #: Reading one checkpoint byte back during recovery.
+    checkpoint_restore_per_byte: float = 0.5
+    #: Fixed restart cost of a crashed node (process relaunch, DSM rejoin
+    #: handshake), excluding restore and re-execution.
+    crash_restart: float = 30_000.0
 
     def seconds(self, cycles: float) -> float:
         """Convert a cycle count to virtual seconds."""

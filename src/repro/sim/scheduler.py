@@ -19,7 +19,8 @@ import enum
 import threading
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import DeadlockError, ProcessFailure, SimulationError
+from repro.errors import (DeadlockError, NodeCrashed, ProcessFailure,
+                          SimulationError)
 from repro.sim.clock import VirtualClock
 from repro.sim.policy import RoundRobinPolicy, SchedulingPolicy
 
@@ -30,6 +31,11 @@ class ProcState(enum.Enum):
     RUNNING = "running"
     BLOCKED = "blocked"
     DONE = "done"
+    #: Terminal fail-stop state: the process died at an injected crash
+    #: point (:class:`~repro.errors.NodeCrashed`) and nothing will recover
+    #: it.  Unlike DONE it marks the run as degraded: processes later
+    #: blocking on the dead one deadlock, and the deadlock report names it.
+    CRASHED = "crashed"
 
 
 class SimProcess:
@@ -121,8 +127,9 @@ class Scheduler:
                                for p in self.processes.values()
                                if p.state is ProcState.BLOCKED}
                     if blocked:
-                        raise DeadlockError(blocked)
-                    return  # everything DONE
+                        raise DeadlockError(blocked,
+                                            crashed=self.crashed_pids())
+                    return  # everything DONE (or fail-stop CRASHED)
                 self.switches += 1
                 if self.switches > self.max_switches:
                     raise SimulationError(
@@ -133,6 +140,15 @@ class Scheduler:
                 self._give_token(pid)
                 self._await_token()
                 proc = self.processes[pid]
+                if isinstance(proc.error, NodeCrashed):
+                    # A fail-stop crash is not a program bug: park the
+                    # process in the terminal CRASHED state and keep
+                    # scheduling the survivors.  If any of them later waits
+                    # on the dead node the run ends in a DeadlockError that
+                    # names the crash.
+                    proc.state = ProcState.CRASHED
+                    proc.error = None
+                    continue
                 if proc.error is not None:
                     raise ProcessFailure(pid, proc.error) from proc.error
         finally:
@@ -258,3 +274,8 @@ class Scheduler:
     def results(self) -> List[Any]:
         """Return values of all process functions, in pid order."""
         return [self.processes[pid].result for pid in sorted(self.processes)]
+
+    def crashed_pids(self) -> List[int]:
+        """Pids of processes that died fail-stop, in pid order."""
+        return sorted(pid for pid, p in self.processes.items()
+                      if p.state is ProcState.CRASHED)

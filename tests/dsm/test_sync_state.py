@@ -4,6 +4,7 @@ import pytest
 
 from repro.dsm.sync import BarrierState, EventState, GrantInfo, LockState
 from repro.dsm.vector_clock import VectorClock
+from repro.errors import ReproError, SynchronizationError
 
 
 def test_lock_state_initial():
@@ -31,8 +32,32 @@ def test_barrier_arrival_counting():
 def test_barrier_double_arrival_rejected():
     bar = BarrierState(2)
     bar.arrive(0, 1.0)
-    with pytest.raises(ValueError):
+    with pytest.raises(SynchronizationError):
         bar.arrive(0, 2.0)
+
+
+def test_barrier_double_arrival_catchable_as_repro_error():
+    # The whole point of the SynchronizationError fix: callers catching the
+    # package root exception see barrier misuse too.
+    bar = BarrierState(2)
+    bar.arrive(1, 1.0)
+    with pytest.raises(ReproError, match="arrived twice"):
+        bar.arrive(1, 2.0)
+
+
+def test_barrier_death_declaration_bookkeeping():
+    bar = BarrierState(3)
+    bar.declare_dead(2)
+    assert bar.dead_this_generation == {2}
+    assert bar.deaths_declared == 1
+    bar.arrive(0, 1.0)
+    bar.arrive(1, 2.0)
+    bar.arrive(2, 9.0)
+    bar.reset_for_next_generation()
+    assert bar.dead_this_generation == set()
+    assert bar.deaths_declared == 1  # cumulative counter survives reset
+    with pytest.raises(SynchronizationError, match="master"):
+        bar.declare_dead(0)
 
 
 def test_barrier_generation_reset():

@@ -59,14 +59,17 @@ def test_breakdown_with_zero_base():
 
 
 def test_overhead_categories_cover_everything_but_base():
-    # RETRANSMIT is network-robustness overhead outside the paper's
-    # Figure 3 taxonomy: is_overhead, but deliberately not a Figure 3
-    # category (keeps regenerated tables byte-identical with faults off).
+    # RETRANSMIT (network robustness) and RECOVERY (crash tolerance) are
+    # overhead outside the paper's Figure 3 taxonomy: is_overhead, but
+    # deliberately not Figure 3 categories (keeps regenerated tables
+    # byte-identical with faults and crashes off).
     assert set(OVERHEAD_CATEGORIES) == \
-        set(CostCategory) - {CostCategory.BASE, CostCategory.RETRANSMIT}
+        set(CostCategory) - {CostCategory.BASE, CostCategory.RETRANSMIT,
+                             CostCategory.RECOVERY}
     assert all(cat.is_overhead for cat in OVERHEAD_CATEGORIES)
-    assert CostCategory.RETRANSMIT.is_overhead
-    assert CostCategory.RETRANSMIT not in OVERHEAD_CATEGORIES
+    for cat in (CostCategory.RETRANSMIT, CostCategory.RECOVERY):
+        assert cat.is_overhead
+        assert cat not in OVERHEAD_CATEGORIES
     assert not CostCategory.BASE.is_overhead
 
 

@@ -1,0 +1,118 @@
+"""Direct tests of Scheduler.run's error paths (including crash-induced
+variants): ProcessFailure cause preservation, deadlock reporting, and the
+fail-stop CRASHED state."""
+
+import pytest
+
+from repro.errors import (DeadlockError, NodeCrashed, ProcessFailure,
+                          ReproError)
+from repro.sim.scheduler import ProcState, Scheduler
+
+
+# ---------------------------------------------------------------------- #
+# ProcessFailure
+# ---------------------------------------------------------------------- #
+def test_process_failure_preserves_cause_and_pid():
+    sched = Scheduler()
+
+    def ok(pid):
+        return pid
+
+    def boom(_pid):
+        raise RuntimeError("kaboom")
+
+    sched.spawn(ok, 0)
+    sched.spawn(boom, 1)
+    with pytest.raises(ProcessFailure) as exc_info:
+        sched.run()
+    err = exc_info.value
+    assert err.pid == 1
+    assert isinstance(err.original, RuntimeError)
+    assert isinstance(err.__cause__, RuntimeError)
+    assert "kaboom" in str(err.__cause__)
+    assert isinstance(err, ReproError)  # catchable at the package root
+
+
+# ---------------------------------------------------------------------- #
+# DeadlockError
+# ---------------------------------------------------------------------- #
+def test_deadlock_reports_blocked_reasons():
+    sched = Scheduler()
+
+    def stuck(pid, reason):
+        sched.block(pid, reason)
+
+    sched.spawn(stuck, 0, "lock 5")
+    sched.spawn(stuck, 1, "barrier gen 0")
+    with pytest.raises(DeadlockError) as exc_info:
+        sched.run()
+    err = exc_info.value
+    assert err.blocked == {0: "lock 5", 1: "barrier gen 0"}
+    assert err.crashed == ()
+    assert "lock 5" in str(err)
+
+
+# ---------------------------------------------------------------------- #
+# Fail-stop crashes
+# ---------------------------------------------------------------------- #
+def test_node_crashed_parks_process_without_failing_run():
+    """A NodeCrashed unwind is not a program bug: the process is parked in
+    CRASHED and the survivors run to completion."""
+    sched = Scheduler()
+
+    def dies(pid):
+        raise NodeCrashed(pid, "access", 42.0)
+
+    def survives(pid):
+        return pid * 10
+
+    sched.spawn(dies, 0)
+    sched.spawn(survives, 1)
+    sched.run()  # must not raise
+    assert sched.processes[0].state is ProcState.CRASHED
+    assert sched.processes[0].error is None
+    assert sched.processes[1].state is ProcState.DONE
+    assert sched.crashed_pids() == [0]
+    assert sched.results()[1] == 10
+
+
+def test_crash_induced_deadlock_names_the_dead():
+    """Survivors blocking on a fail-stop node end in a DeadlockError that
+    names the crashed pid — the diagnosis the recovery layer replaces."""
+    sched = Scheduler()
+
+    def dies(pid):
+        raise NodeCrashed(pid, "barrier", 100.0)
+
+    def waits(pid):
+        sched.block(pid, "barrier gen 1")
+
+    sched.spawn(waits, 0)
+    sched.spawn(dies, 1)
+    sched.spawn(waits, 2)
+    with pytest.raises(DeadlockError) as exc_info:
+        sched.run()
+    err = exc_info.value
+    assert err.crashed == (1,)
+    assert set(err.blocked) == {0, 2}
+    assert "unrecovered crash" in str(err) and "P1" in str(err)
+
+
+def test_all_crashed_is_not_a_deadlock():
+    sched = Scheduler()
+
+    def dies(pid):
+        raise NodeCrashed(pid, "send", 1.0)
+
+    sched.spawn(dies, 0)
+    sched.spawn(dies, 1)
+    sched.run()  # nothing blocked: completes, run degraded but not wedged
+    assert sched.crashed_pids() == [0, 1]
+
+
+def test_node_crashed_message_and_fields():
+    exc = NodeCrashed(3, "barrier", 1234.5)
+    assert exc.pid == 3 and exc.kind == "barrier"
+    assert exc.at_cycles == 1234.5
+    assert "P3" in str(exc) and "barrier" in str(exc)
+    assert isinstance(exc, ReproError)
