@@ -34,6 +34,11 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
                    help="run the paper's literal O(i²p²) detection "
                         "algorithm instead of the fast path (identical "
                         "output, slower wall-clock; see docs/performance.md)")
+    p.add_argument("--reference-access-path", action="store_true",
+                   help="run the paper's literal one-analysis-call-per-"
+                        "word access instrumentation instead of the "
+                        "batched Env engine (identical output, slower "
+                        "wall-clock; see docs/performance.md)")
     p.add_argument("--loss-rate", type=float, default=0.0,
                    help="per-datagram drop probability of the simulated "
                         "network (default 0: reliable, byte-identical to "
@@ -68,6 +73,17 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
                         "persist them under DIR; a crashed node then "
                         "recovers with its detection metadata intact, so "
                         "race reports match the crash-free run exactly")
+    p.add_argument("--checkpoint-delta", action="store_true",
+                   help="delta-encode each checkpoint against the node's "
+                        "previous generation (implies checkpointing): only "
+                        "changed pages/intervals are written, shrinking "
+                        "checkpoint bytes and their priced write cost; "
+                        "recovery is byte-identical to full snapshots")
+    p.add_argument("--resume-from", default=None, metavar="DIR",
+                   help="resume from a checkpoint directory written by a "
+                        "previous --checkpoint-dir run with the same "
+                        "configuration; reproduces the uninterrupted run's "
+                        "race report byte-identically")
     p.add_argument("--report", default=None, metavar="PATH",
                    help="also write the race report (one sorted line per "
                         "race) to PATH — lets CI diff reports across "
@@ -88,7 +104,11 @@ def _fault_overrides(args) -> dict:
                 crash_rate=args.crash_rate,
                 crash_seed=args.crash_seed,
                 crash_at=parse_crash_at(args.crash_at),
-                checkpoint_dir=args.checkpoint_dir)
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_delta=getattr(args, "checkpoint_delta", False),
+                resume_from=getattr(args, "resume_from", None),
+                access_fast_path=not getattr(
+                    args, "reference_access_path", False))
 
 
 def cmd_apps(_args) -> int:
@@ -103,17 +123,33 @@ def cmd_run(args) -> int:
     spec = get_app(args.app)
     params = spec.paper_params if args.paper_input else spec.default_params
     nprocs = 3 if args.app == "queue_racy" else args.procs
-    result = measure(spec, nprocs=nprocs, params=params,
-                     protocol=args.protocol, policy=args.policy,
-                     seed=args.seed,
-                     first_races_only=args.first_races_only,
-                     detector_fast_path=not args.reference_detector,
-                     **_fault_overrides(args))
-    res = result.detected
+    if args.resume_from:
+        # A resumed run must match the original checkpointed run exactly,
+        # so only the detection-on run is performed (measure()'s
+        # uninstrumented baseline would diverge from the snapshots).
+        res = spec.run(nprocs=nprocs, params=params,
+                       protocol=args.protocol, policy=args.policy,
+                       seed=args.seed,
+                       first_races_only=args.first_races_only,
+                       detector_fast_path=not args.reference_detector,
+                       **_fault_overrides(args))
+        result = None
+    else:
+        result = measure(spec, nprocs=nprocs, params=params,
+                         protocol=args.protocol, policy=args.policy,
+                         seed=args.seed,
+                         first_races_only=args.first_races_only,
+                         detector_fast_path=not args.reference_detector,
+                         **_fault_overrides(args))
+        res = result.detected
     print(f"{args.app} on {nprocs} simulated processes "
           f"({args.protocol} protocol, {args.policy} seed {args.seed})")
-    print(f"  runtime: {res.runtime_seconds * 1e3:.2f} virtual ms, "
-          f"slowdown {result.slowdown:.2f}x")
+    if result is not None:
+        print(f"  runtime: {res.runtime_seconds * 1e3:.2f} virtual ms, "
+              f"slowdown {result.slowdown:.2f}x")
+    else:
+        print(f"  runtime: {res.runtime_seconds * 1e3:.2f} virtual ms "
+              f"(resumed from {args.resume_from})")
     print(f"  memory: {res.memory_kbytes:.1f} KB shared, "
           f"{res.barriers_completed} barriers, "
           f"{res.lock_acquires} lock acquires, "
@@ -227,6 +263,13 @@ def cmd_disasm(args) -> int:
     image = binary_for(args.app)
     if args.instrumented:
         image = AtomRewriter().instrument(image)
+        if args.batched:
+            from repro.instrument.batch import coalesce_analysis_calls
+            image, report = coalesce_analysis_calls(image)
+            print(f"; batched: {report.calls_before} analysis calls -> "
+                  f"{report.calls_after} ({report.ranged_calls} ranged, "
+                  f"{report.words_batched} words)")
+            print()
     if not args.full:
         # Application code only (libraries are synthetic filler).
         for name in sorted(image.functions):
@@ -271,6 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dis = sub.add_parser("disasm", help="disassemble a kernel binary")
     p_dis.add_argument("app", choices=["fft", "sor", "tsp", "water", "lu"])
     p_dis.add_argument("--instrumented", action="store_true")
+    p_dis.add_argument("--batched", action="store_true",
+                       help="with --instrumented: coalesce provably "
+                            "contiguous analysis calls into ranged calls")
     p_dis.add_argument("--full", action="store_true",
                        help="include synthetic library code")
     p_dis.set_defaults(func=cmd_disasm)

@@ -40,9 +40,11 @@ class Bitmap:
     def set_range(self, start: int, count: int) -> None:
         """Set ``count`` consecutive bits starting at ``start``.
 
-        Used by the range-access fast path: interior whole bytes are
-        filled directly, so tracking a long vector access costs O(bytes),
-        not O(bits).
+        Used by the range-access fast path: the whole bitmap is OR-ed
+        with a shifted all-ones mask as one arbitrary-precision integer
+        operation (word-at-a-time in the int representation), so tracking
+        a long vector access costs O(bytes) with no per-bit loop — the
+        partial leading/trailing bytes included.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
@@ -51,18 +53,12 @@ class Bitmap:
         end = start + count  # exclusive
         if not (0 <= start and end <= self.nbits):
             raise IndexError(f"range [{start}, {end}) out of [0, {self.nbits})")
-        first_full = (start + 7) >> 3
-        last_full = end >> 3
-        if first_full > last_full:  # range within one byte
-            for i in range(start, end):
-                self._bytes[i >> 3] |= 1 << (i & 7)
+        if count == 1:
+            self._bytes[start >> 3] |= 1 << (start & 7)
             return
-        for i in range(start, first_full << 3):
-            self._bytes[i >> 3] |= 1 << (i & 7)
-        if last_full > first_full:
-            self._bytes[first_full:last_full] = b"\xff" * (last_full - first_full)
-        for i in range(last_full << 3, end):
-            self._bytes[i >> 3] |= 1 << (i & 7)
+        merged = (int.from_bytes(self._bytes, "little")
+                  | (((1 << count) - 1) << start))
+        self._bytes[:] = merged.to_bytes(len(self._bytes), "little")
 
     def clear(self) -> None:
         self._bytes[:] = bytes(len(self._bytes))

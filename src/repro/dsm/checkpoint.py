@@ -9,25 +9,39 @@ protection states and twins), access counters, and the node's live interval
 records including their word bitmaps — with nothing in flight.
 
 Snapshots serialize to a canonical JSON form (sorted keys, no whitespace),
-so byte size is deterministic and doubles as the recovery-cost input.  With
+so byte size is deterministic and doubles as the recovery-cost input.  The
+canonical encoding is memoized per snapshot: sizing, persisting and
+hashing a checkpoint serialize it once, not once per consumer.  With
 ``--checkpoint-dir`` the :class:`CheckpointManager` also persists one file
 per (pid, barrier generation), which enables *cross-run* restoration of a
 long simulation's per-node state (``CheckpointManager.load_dir``) in
 addition to the in-run crash recovery driven by :mod:`repro.dsm.cvm`.
 
-The round-trip contract (asserted property-style in
-``tests/dsm/test_checkpoint.py``): ``snapshot → serialize → restore →
-snapshot`` is idempotent for every registered application at any barrier
-generation.
+With ``checkpoint_delta`` the manager writes *delta* checkpoints: each
+generation is encoded against the node's previous snapshot, keyed by
+content hash — only pages and interval records whose canonical-JSON hash
+changed are included (plus scalar fields that moved and explicit deletion
+lists).  Generation 0 is always a full snapshot.  ``load_dir`` replays a
+delta chain back into full snapshots, validating base-generation
+continuity and the base content hash at every link, so recovery from a
+delta chain is byte-identical to full-snapshot recovery.
+
+The round-trip contracts (asserted property-style in
+``tests/dsm/test_checkpoint.py`` and ``test_checkpoint_delta.py``):
+``snapshot → serialize → restore → snapshot`` is idempotent for every
+registered application at any barrier generation, and
+``apply_delta(prev, encode_delta(prev, snap))`` reproduces ``snap``'s
+canonical bytes exactly.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 from repro.core.bitmap import Bitmap
 from repro.dsm.interval import Interval
@@ -42,6 +56,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (node ← checkpoint)
 FORMAT_VERSION = 1
 
 _FILE_RE = re.compile(r"ckpt_p(\d+)_g(\d+)\.json$")
+
+
+def _canon(obj: Any) -> str:
+    """Canonical JSON text (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _hash_text(text: str) -> str:
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def _content_hash(obj: Any) -> str:
+    """Content hash of an object's canonical JSON form — the key delta
+    encoding compares pages/intervals by."""
+    return _hash_text(_canon(obj))
 
 
 # ---------------------------------------------------------------------- #
@@ -102,6 +131,14 @@ class NodeSnapshot:
 
     data: Dict[str, Any]
 
+    #: Memoized canonical encoding; filled in lazily via
+    #: ``object.__setattr__`` (the dataclass is frozen).  ``data`` must not
+    #: be mutated after the first ``to_json`` call — snapshots are
+    #: write-once by construction.
+    _json: Optional[str] = field(default=None, repr=False, compare=False)
+
+    is_delta = False
+
     @property
     def pid(self) -> int:
         return self.data["pid"]
@@ -124,7 +161,14 @@ class NodeSnapshot:
         return self.data["clock_now"]
 
     def to_json(self) -> str:
-        return json.dumps(self.data, sort_keys=True, separators=(",", ":"))
+        """Canonical encoding, serialized once and memoized: the size
+        charge, the stats, the file write and the delta base hash all
+        consult it without re-encoding."""
+        cached = self._json
+        if cached is None:
+            cached = _canon(self.data)
+            object.__setattr__(self, "_json", cached)
+        return cached
 
     @property
     def nbytes(self) -> int:
@@ -142,6 +186,10 @@ class NodeSnapshot:
             raise CheckpointError(
                 f"checkpoint format version {data.get('version')!r} "
                 f"not supported (expected {FORMAT_VERSION})")
+        if data.get("delta"):
+            raise CheckpointError(
+                "delta checkpoint cannot be loaded standalone — replay its "
+                "chain with CheckpointManager.load_dir")
         return cls(data)
 
     def __eq__(self, other: object) -> bool:
@@ -149,15 +197,174 @@ class NodeSnapshot:
                 and self.to_json() == other.to_json())
 
 
+@dataclass(frozen=True)
+class DeltaSnapshot:
+    """A checkpoint encoded against the node's previous generation.
+
+    Holds only the components whose content hash changed (plus deletions
+    and moved scalar fields); ``nbytes`` is therefore the *bytes written
+    this generation* — exactly what the virtual-time write cost and the
+    checkpoint statistics should price.  Restoration always goes through
+    a reconstructed full :class:`NodeSnapshot` (see :func:`apply_delta`),
+    so recovery cost and behavior are unchanged.
+    """
+
+    data: Dict[str, Any]
+
+    _json: Optional[str] = field(default=None, repr=False, compare=False)
+
+    is_delta = True
+
+    @property
+    def pid(self) -> int:
+        return self.data["pid"]
+
+    @property
+    def generation(self) -> int:
+        return self.data["generation"]
+
+    @property
+    def base_generation(self) -> int:
+        """Generation of the snapshot this delta was encoded against."""
+        return self.data["base_generation"]
+
+    def to_json(self) -> str:
+        cached = self._json
+        if cached is None:
+            cached = _canon(self.data)
+            object.__setattr__(self, "_json", cached)
+        return cached
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.to_json().encode("utf-8"))
+
+
+#: What ``CheckpointManager.take`` returns: the object actually written.
+WrittenCheckpoint = Union[NodeSnapshot, DeltaSnapshot]
+
+#: Top-level snapshot fields a delta may carry forward wholesale (the
+#: dict-valued components ``pages``/``store_records`` are diffed by
+#: content hash instead).
+_DELTA_SCALAR_FIELDS = ("epoch", "clock_now", "vc", "intervals_created",
+                        "shared_instr_calls", "private_instr_calls",
+                        "twinned_pages", "current")
+
+
+def encode_delta(prev: NodeSnapshot, snap: NodeSnapshot) -> DeltaSnapshot:
+    """Encode ``snap`` as a delta against ``prev`` (same pid, the node's
+    previous checkpoint generation).
+
+    Pages and interval records are keyed by content hash: an entry whose
+    canonical-JSON hash is unchanged is omitted entirely; changed or new
+    entries are carried in full; entries that disappeared go on explicit
+    deletion lists.  The delta also pins ``base_generation`` and the
+    base's full-snapshot hash so a broken or reordered chain is detected
+    at replay time, not silently mis-applied.
+    """
+    if prev.pid != snap.pid:
+        raise CheckpointError(
+            f"cannot delta-encode P{snap.pid} against P{prev.pid}")
+    pd, nd = prev.data, snap.data
+    set_fields: Dict[str, Any] = {}
+    for key in _DELTA_SCALAR_FIELDS:
+        if nd[key] != pd[key]:
+            set_fields[key] = nd[key]
+    prev_pages, new_pages = pd["pages"], nd["pages"]
+    prev_hashes = {k: _content_hash(v) for k, v in prev_pages.items()}
+    pages_set = {k: v for k, v in new_pages.items()
+                 if prev_hashes.get(k) != _content_hash(v)}
+    pages_del = sorted((k for k in prev_pages if k not in new_pages),
+                       key=int)
+    prev_recs = {str(r["index"]): r for r in pd["store_records"]}
+    new_recs = {str(r["index"]): r for r in nd["store_records"]}
+    rec_hashes = {k: _content_hash(v) for k, v in prev_recs.items()}
+    recs_set = {k: v for k, v in new_recs.items()
+                if rec_hashes.get(k) != _content_hash(v)}
+    recs_del = sorted((k for k in prev_recs if k not in new_recs), key=int)
+    data = {
+        "version": FORMAT_VERSION,
+        "delta": True,
+        "pid": snap.pid,
+        "generation": snap.generation,
+        "base_generation": prev.generation,
+        "base_hash": _hash_text(prev.to_json()),
+        "set": set_fields,
+        "pages": {"set": pages_set, "del": pages_del},
+        "records": {"set": recs_set, "del": recs_del},
+    }
+    return DeltaSnapshot(data)
+
+
+def apply_delta(prev: NodeSnapshot, delta: DeltaSnapshot) -> NodeSnapshot:
+    """Reconstruct the full snapshot a delta encodes, given its base.
+
+    Validates pid, base-generation continuity and the base content hash;
+    the reconstruction is byte-identical to the full snapshot the delta
+    was encoded from (asserted by the delta round-trip tests)."""
+    d = delta.data
+    if d["pid"] != prev.pid:
+        raise CheckpointError(
+            f"delta of P{d['pid']} cannot apply to P{prev.pid}")
+    if d["base_generation"] != prev.generation:
+        raise CheckpointError(
+            f"delta chain gap for P{prev.pid}: delta generation "
+            f"{d['generation']} is based on generation "
+            f"{d['base_generation']}, but the reconstructed base is at "
+            f"generation {prev.generation}")
+    if d["base_hash"] != _hash_text(prev.to_json()):
+        raise CheckpointError(
+            f"delta base mismatch for P{prev.pid} at generation "
+            f"{d['generation']}: the base snapshot's content hash does "
+            "not match the one the delta was encoded against")
+    data = json.loads(prev.to_json())  # deep copy via the memoized form
+    data["generation"] = d["generation"]
+    for key, value in d["set"].items():
+        data[key] = value
+    pages = data["pages"]
+    for key in d["pages"]["del"]:
+        pages.pop(key, None)
+    pages.update(d["pages"]["set"])
+    records = {str(r["index"]): r for r in data["store_records"]}
+    for key in d["records"]["del"]:
+        records.pop(key, None)
+    records.update(d["records"]["set"])
+    data["store_records"] = [records[k] for k in sorted(records, key=int)]
+    return NodeSnapshot(data)
+
+
+def load_checkpoint(path: str) -> WrittenCheckpoint:
+    """Load one checkpoint file: a full :class:`NodeSnapshot` or a
+    :class:`DeltaSnapshot`, depending on the file's ``delta`` marker."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"unparseable checkpoint: {exc}") from exc
+    if data.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format version {data.get('version')!r} "
+            f"not supported (expected {FORMAT_VERSION})")
+    return DeltaSnapshot(data) if data.get("delta") else NodeSnapshot(data)
+
+
 def snapshot_node(node: "Node", store: "IntervalStore",
                   generation: int) -> NodeSnapshot:
     """Capture one node's complete DSM state at a barrier cut."""
     pages: Dict[str, Any] = {}
     for page_id, copy in sorted(node.pages.items()):
+        # Copy the word lists: the snapshot must freeze barrier-time page
+        # contents, not alias the live lists the node keeps mutating
+        # (delta encoding hashes the retained previous snapshot later).
         pages[str(page_id)] = {
             "state": copy.state.value,
-            "data": copy.data,
-            "twin": copy.twin,
+            "data": None if copy.data is None else list(copy.data),
+            "twin": None if copy.twin is None else list(copy.twin),
         }
     records = store.by_pid().get(node.pid, {})
     data = {
@@ -223,10 +430,18 @@ class CheckpointManager:
     ``ckpt_p<pid>_g<generation>.json`` there — one file per (node, barrier
     generation) — so a later process can rehydrate the run's per-node state
     with :meth:`load_dir` (cross-run resume of long simulations).
+
+    With ``delta=True`` every checkpoint after a node's first is written
+    as a :class:`DeltaSnapshot` against the previous generation;
+    :meth:`latest` (and therefore recovery) always serves the full
+    in-memory reconstruction, so only the *written bytes* — the priced
+    write cost and the on-disk footprint — shrink.
     """
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(self, directory: Optional[str] = None,
+                 delta: bool = False):
         self.directory = directory
+        self.delta = delta
         if directory is not None:
             try:
                 os.makedirs(directory, exist_ok=True)
@@ -235,26 +450,49 @@ class CheckpointManager:
                     f"cannot create checkpoint directory {directory!r}: "
                     f"{exc}") from exc
         self._latest: Dict[int, NodeSnapshot] = {}
+        #: Per-pid {generation: full snapshot}; populated by
+        #: :meth:`load_dir` so a resumed run can restore at the common cut.
+        self._history: Dict[int, Dict[int, NodeSnapshot]] = {}
 
     def take(self, node: "Node", store: "IntervalStore",
-             generation: int) -> NodeSnapshot:
-        """Snapshot ``node`` at barrier ``generation``; retain it as the
-        node's latest checkpoint and persist it when a directory is set."""
+             generation: int) -> WrittenCheckpoint:
+        """Snapshot ``node`` at barrier ``generation``; retain the full
+        snapshot as the node's latest checkpoint and persist the written
+        form (full, or delta in delta mode) when a directory is set.
+
+        Returns the object actually *written* — its ``nbytes`` is what the
+        caller's virtual-time write charge and stats should price."""
         snap = snapshot_node(node, store, generation)
+        prev = self._latest.get(node.pid)
+        written: WrittenCheckpoint = snap
+        if self.delta and prev is not None:
+            written = encode_delta(prev, snap)
         self._latest[node.pid] = snap
         if self.directory is not None:
             path = os.path.join(
                 self.directory, f"ckpt_p{node.pid}_g{generation}.json")
             try:
                 with open(path, "w", encoding="utf-8") as fh:
-                    fh.write(snap.to_json())
+                    fh.write(written.to_json())
             except OSError as exc:
                 raise CheckpointError(
                     f"cannot write checkpoint {path!r}: {exc}") from exc
-        return snap
+        return written
 
     def latest(self, pid: int) -> Optional[NodeSnapshot]:
         return self._latest.get(pid)
+
+    def at_generation(self, pid: int, generation: int) -> NodeSnapshot:
+        """The full snapshot of ``pid`` at ``generation`` (history is only
+        retained by :meth:`load_dir`-constructed managers)."""
+        snap = self._history.get(pid, {}).get(generation)
+        if snap is None:
+            raise CheckpointError(
+                f"no checkpoint for P{pid} at generation {generation}")
+        return snap
+
+    def has_generation(self, pid: int, generation: int) -> bool:
+        return generation in self._history.get(pid, {})
 
     def restore_latest(self, node: "Node", store: "IntervalStore") -> NodeSnapshot:
         """Restore ``node`` from its latest checkpoint; raises
@@ -276,9 +514,13 @@ class CheckpointManager:
 
     @classmethod
     def load_dir(cls, directory: str) -> "CheckpointManager":
-        """Rehydrate a manager from a checkpoint directory, keeping the
-        highest-generation snapshot of every pid (the state a resumed run
-        would restart each node from)."""
+        """Rehydrate a manager from a checkpoint directory.
+
+        Every generation of every pid is loaded (delta chains are replayed
+        into full snapshots, validating base continuity and content hashes
+        link by link) and retained in :meth:`at_generation` history; the
+        highest generation of each pid becomes its :meth:`latest` snapshot
+        — the state a resumed run restarts each node from."""
         manager = cls(directory=None)
         try:
             names = sorted(os.listdir(directory))
@@ -286,19 +528,32 @@ class CheckpointManager:
             raise CheckpointError(
                 f"cannot list checkpoint directory {directory!r}: "
                 f"{exc}") from exc
-        best: Dict[int, int] = {}
-        chosen: Dict[int, str] = {}
+        files: Dict[int, List[Tuple[int, str]]] = {}
         for name in names:
             m = _FILE_RE.match(name)
             if not m:
                 continue
             pid, gen = int(m.group(1)), int(m.group(2))
-            if gen >= best.get(pid, -1):
-                best[pid] = gen
-                chosen[pid] = name
-        for pid, name in chosen.items():
-            manager._latest[pid] = cls.load_snapshot(
-                os.path.join(directory, name))
+            files.setdefault(pid, []).append((gen, name))
+        for pid, entries in sorted(files.items()):
+            current: Optional[NodeSnapshot] = None
+            history = manager._history.setdefault(pid, {})
+            for gen, name in sorted(entries):
+                loaded = load_checkpoint(os.path.join(directory, name))
+                if loaded.is_delta:
+                    if current is None:
+                        raise CheckpointError(
+                            f"delta checkpoint {name!r} has no full base "
+                            f"snapshot in {directory!r}")
+                    current = apply_delta(current, loaded)
+                else:
+                    current = loaded
+                if current.generation != gen:
+                    raise CheckpointError(
+                        f"checkpoint {name!r} claims generation "
+                        f"{current.generation}, expected {gen}")
+                history[gen] = current
+            manager._latest[pid] = current
         return manager
 
     def snapshots(self) -> List[NodeSnapshot]:

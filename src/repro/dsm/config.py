@@ -39,6 +39,16 @@ class DsmConfig:
             cost is still charged to the master clock analytically — only
             real (Python) wall-clock time differs.  Off = the paper's
             literal O(i²p²) algorithm, kept for equivalence tests.
+        access_fast_path: Use the batched access execution engine in
+            ``Env`` (default): clock advances fused into one pre-summed
+            charge per access, per-configuration bound methods chosen at
+            ``Env.__init__``, and ranges recorded natively down to
+            ``Bitmap.set_range``.  Virtual-time charges are arithmetically
+            identical to the reference engine, so every ledger, statistic
+            and artifact is byte-identical — only real (Python) wall-clock
+            time differs.  Off = the per-word scalar chain (the paper's
+            one-call-per-access instrumentation), kept for equivalence
+            tests and as the old side of ``bench_endtoend.py``.
         diff_write_detection: With the multi-writer protocol, derive write
             bitmaps from diffs instead of instrumenting stores (§6.5
             extension; same-value overwrites become invisible).
@@ -96,6 +106,18 @@ class DsmConfig:
             node (enables recovery with no lost metadata).
         checkpoint_dir: Directory to persist checkpoints to
             (``--checkpoint-dir``); implies ``checkpoint``.
+        checkpoint_delta: Delta-encode each checkpoint against the node's
+            previous generation (``--checkpoint-delta``; implies
+            ``checkpoint``): only pages/intervals whose content hash
+            changed are written, shrinking checkpoint bytes and their
+            priced virtual-time write cost.  Recovery reconstructs the
+            full snapshot from the delta chain and is byte-identical to
+            full-snapshot recovery.  Default off: existing runs untouched.
+        resume_from: Checkpoint directory to resume from
+            (``--resume-from``): the run re-executes deterministically and,
+            at the barrier generation the directory covers, validates and
+            reinstalls every node's state from the restored snapshots —
+            reproducing the uninterrupted run's report byte-identically.
         cost_model: Cycle costs for virtual time.
         track_access_trace: Record every shared access for the baseline
             (oracle) detectors; expensive, test-scale inputs only.
@@ -108,6 +130,7 @@ class DsmConfig:
     detection: bool = True
     first_races_only: bool = False
     detector_fast_path: bool = True
+    access_fast_path: bool = True
     diff_write_detection: bool = False
     inline_instrumentation: bool = False
     consolidation_interval: int = 0
@@ -130,6 +153,8 @@ class DsmConfig:
     crash_detect_timeout: float = DEFAULT_CRASH_DETECT_TIMEOUT
     checkpoint: bool = False
     checkpoint_dir: Optional[str] = None
+    checkpoint_delta: bool = False
+    resume_from: Optional[str] = None
     cost_model: CostModel = field(default_factory=CostModel)
     track_access_trace: bool = False
     #: Retain every transport message for inspection (tests/debugging).
@@ -207,5 +232,8 @@ class DsmConfig:
     @property
     def checkpointing_enabled(self) -> bool:
         """True when barrier checkpoints are taken (explicitly requested
-        or implied by a checkpoint directory)."""
-        return self.checkpoint or self.checkpoint_dir is not None
+        or implied by a checkpoint directory, delta encoding, or a resume:
+        a resumed run re-takes checkpoints so its virtual-time write
+        charges line up with the original checkpointed run's)."""
+        return (self.checkpoint or self.checkpoint_dir is not None
+                or self.checkpoint_delta or self.resume_from is not None)

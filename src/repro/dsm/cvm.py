@@ -26,7 +26,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.baseline.trace import TraceEvent
 from repro.core.detector import DetectorStats, RaceDetector
 from repro.core.report import RaceReport
-from repro.dsm.checkpoint import CheckpointManager
+from repro.dsm.checkpoint import (CheckpointManager, restore_node,
+                                  snapshot_node)
 from repro.dsm.config import DsmConfig
 from repro.dsm.interval import Interval, intervals_unseen_by
 from repro.dsm.memory import SharedSegment
@@ -36,8 +37,8 @@ from repro.dsm.protocol import make_protocol
 from repro.dsm.sync import (BarrierState, EventState, GrantInfo,
                             LockState)
 from repro.dsm.vector_clock import VectorClock
-from repro.errors import (AllocationError, NodeCrashed, SegmentationFault,
-                          SynchronizationError)
+from repro.errors import (AllocationError, CheckpointError, NodeCrashed,
+                          SegmentationFault, SynchronizationError)
 from repro.net.message import WireSizer
 from repro.net.reliable import ReliableChannel
 from repro.net.stats import TrafficStats
@@ -173,7 +174,32 @@ class CVM:
         self.crash_stats = CrashStats()
         self.checkpoints: Optional[CheckpointManager] = None
         if config.checkpointing_enabled:
-            self.checkpoints = CheckpointManager(config.checkpoint_dir)
+            self.checkpoints = CheckpointManager(config.checkpoint_dir,
+                                                 delta=config.checkpoint_delta)
+        # Cross-run resume (--resume-from): re-execute deterministically
+        # and, at the barrier generation the directory covers for every
+        # node, validate and reinstall each node's state from the restored
+        # snapshots.  The resumed run must use the same configuration the
+        # checkpoints were written under (checkpointing stays enabled so
+        # the virtual-time write charges line up).
+        self._resume_mgr: Optional[CheckpointManager] = None
+        self._resume_gen = -1
+        self.resumed_nodes = 0
+        if config.resume_from is not None:
+            mgr = CheckpointManager.load_dir(config.resume_from)
+            pids = sorted(s.pid for s in mgr.snapshots())
+            if pids != list(range(config.nprocs)):
+                raise CheckpointError(
+                    f"checkpoint directory {config.resume_from!r} covers "
+                    f"pids {pids}, but the run has nprocs={config.nprocs}")
+            gen = min(s.generation for s in mgr.snapshots())
+            for pid in pids:
+                if not mgr.has_generation(pid, gen):
+                    raise CheckpointError(
+                        f"checkpoint directory {config.resume_from!r} has "
+                        f"no consistent cut: P{pid} lacks generation {gen}")
+            self._resume_mgr = mgr
+            self._resume_gen = gen
         #: Optional replay controller (see :mod:`repro.replay`): records or
         #: enforces the order in which contended locks are granted.
         self.lock_order = None
@@ -195,6 +221,11 @@ class CVM:
         for pid in range(self.config.nprocs):
             proc = self.scheduler.spawn(self._proc_main, app, pid, args)
             self.nodes.append(Node(pid, self.config, proc.clock, self.store))
+        if self._resume_mgr is not None and self._resume_gen == 0:
+            # Resuming at the pre-application cut: install before the
+            # generation-0 checkpoints re-record the (identical) state.
+            for node in self.nodes:
+                self._install_resume(node)
         if self.checkpoints is not None:
             # Initial checkpoints (barrier generation 0): every node can be
             # recovered even if it dies before the first barrier.
@@ -290,11 +321,12 @@ class CVM:
         proportional to its serialized size) and re-execute from the
         checkpoint cut — determinism regenerates the post-checkpoint
         metadata exactly, so nothing is lost.  Without: refetch every valid
-        page copy from its manager over the (assumed reliable) bare
-        transport, re-execute the whole epoch, and mark the node's
-        current-epoch intervals *lost* — their bitmaps are unrecoverable
-        and the detector degrades those checks to explicit unverifiable
-        reports.
+        page copy from its manager over ``self.net`` — the reliable
+        channel when faults are enabled, so recovery traffic survives a
+        lossy network too — re-execute the whole epoch, and mark the
+        node's current-epoch intervals *lost* — their bitmaps are
+        unrecoverable and the detector degrades those checks to explicit
+        unverifiable reports.
         """
         rec = node.crashed
         clock = node.clock
@@ -315,7 +347,7 @@ class CVM:
                 src = self.directory.manager_of(page_id)
                 if src == node.pid:
                     continue
-                msg = self.transport.send(
+                msg = self.net.send(
                     "recovery_page", src, node.pid, None,
                     self.sizer.ints(2) + self.sizer.page_data(), clock,
                     category=CostCategory.RECOVERY, fragmentable=True)
@@ -334,6 +366,28 @@ class CVM:
         # crash is done twice; the second pass is recovery overhead.
         clock.advance(max(0.0, rec.time - restart_point),
                       CostCategory.RECOVERY)
+
+    def _install_resume(self, node: Node) -> None:
+        """Validate and install one node's restored snapshot at the resume
+        cut.
+
+        Deterministic re-execution has brought the node to exactly the
+        state the checkpoint captured, so the freshly-computed snapshot
+        must equal the stored one byte for byte — anything else means the
+        directory came from a different app/params/flags and resuming
+        would silently diverge.  The restored (deserialized) objects are
+        then actually installed, so the remainder of the run exercises the
+        restore path end to end."""
+        snap = self._resume_mgr.at_generation(node.pid, self._resume_gen)
+        current = snapshot_node(node, self.store, self._resume_gen)
+        if current != snap:
+            raise CheckpointError(
+                f"resume state diverged for P{node.pid} at generation "
+                f"{self._resume_gen}: the checkpoint directory was not "
+                "produced by an equivalent run (same application, "
+                "parameters, process count and flags)")
+        restore_node(snap, node, self.store)
+        self.resumed_nodes += 1
 
     def _take_checkpoint(self, node: Node, generation: int) -> None:
         snap = self.checkpoints.take(node, self.store, generation)
@@ -639,8 +693,9 @@ class CVM:
         barrier analysis: any process with a pending crash missed the
         deadline, so the master waits out its virtual-time timeout past the
         last live arrival, declares the silent nodes dead, and sends each a
-        recovery request (bare transport: the recovery channel is assumed
-        reliable).  The dead node's effective arrival is then whatever is
+        recovery request over ``self.net`` — the reliable channel when
+        faults are enabled, so recovery survives the same lossy network as
+        everything else.  The dead node's effective arrival is then whatever is
         later — its self-recovered arrival, or recovery triggered by the
         master's request plus the node's crash-to-arrival span."""
         crashed = [p for p in range(self.config.nprocs)
@@ -655,7 +710,7 @@ class CVM:
             bar.declare_dead(p)
             self.crash_stats.deaths_declared += 1
             rec = self.nodes[p].crashed
-            msg = self.transport.send(
+            msg = self.net.send(
                 "recovery_request", bar.master, p, None,
                 self.sizer.ints(2), master_clock,
                 category=CostCategory.RECOVERY)
@@ -679,6 +734,9 @@ class CVM:
         # checkpoints itself before touching the new epoch.
         node.crashed = None
         node.epoch_start_time = node.clock.now
+        if (self._resume_mgr is not None
+                and bar.barriers_completed == self._resume_gen):
+            self._install_resume(node)
         if self.checkpoints is not None:
             self._take_checkpoint(node, generation=bar.barriers_completed)
 
@@ -743,6 +801,50 @@ class Env:
         #: Crash injector (None in the default, crash-free configuration —
         #: the per-access hook then costs one attribute test).
         self._crasher = system._crasher
+        # --- access-engine dispatch (chosen once per configuration) ----- #
+        # Three engines share identical virtual-time arithmetic (every
+        # ledger, bitmap, counter and message is byte-identical across
+        # them; see docs/performance.md):
+        #  * fast (default): fused clock charges via advance_split, bound
+        #    protocol/scheduler attributes, single-page ranges without
+        #    chunk materialization;
+        #  * scalar (access_fast_path=False): the paper's literal per-word
+        #    instrumentation chain, one analysis call per word — the
+        #    reference engine and the old side of bench_endtoend.py;
+        #  * general: tracing, pc-watching or crash injection is active —
+        #    the chunked class-level methods below, which evaluate those
+        #    hooks exactly where the crash/trace semantics require.
+        self._segwords = system.config.segment_words
+        self._ensure_readable = system.protocol.ensure_readable
+        self._ensure_writable = system.protocol.ensure_writable
+        cm = self._cm
+        if self._proc_call:
+            self._instr_parts: Tuple[Tuple[CostCategory, float], ...] = (
+                (CostCategory.BASE, cm.plain_access),
+                (CostCategory.PROC_CALL, self._proc_call),
+                (CostCategory.ACCESS_CHECK, cm.access_check_shared))
+        else:
+            self._instr_parts = (
+                (CostCategory.BASE, cm.plain_access),
+                (CostCategory.ACCESS_CHECK, cm.access_check_shared))
+        total = 0.0
+        for _cat, cycles in self._instr_parts:
+            total += cycles
+        self._instr_total = total
+        general = (self._trace or self._watching
+                   or self._crasher is not None)
+        if not general:
+            if system.config.access_fast_path:
+                self.load = self._load_fast_detect if self._detect \
+                    else self._load_fast_plain
+                self.store = self._store_fast_detect \
+                    if self._detect and not self._diff_writes \
+                    else self._store_fast_plain
+                self.load_range = self._load_range_fast
+                self.store_range = self._store_range_fast
+            else:
+                self.load_range = self._load_range_scalar
+                self.store_range = self._store_range_scalar
 
     # ------------------------------------------------------------------ #
     # Allocation.
@@ -830,7 +932,7 @@ class Env:
         taken = 0
         for page, off, n in self._page_chunks(addr, count):
             copy = self.system.protocol.ensure_writable(node, page, off)
-            copy.data[off:off + n] = list(values[taken:taken + n])
+            copy.data[off:off + n] = values[taken:taken + n]
             taken += n
             if self._detect and not self._diff_writes:
                 node.current.record_write(page, off, n)
@@ -838,15 +940,243 @@ class Env:
                           instrumented=self._detect and not self._diff_writes)
         self._after_access(addr, count, True, site)
 
-    def _page_chunks(self, addr: int, count: int):
-        """Split [addr, addr+count) into (page, offset, length) chunks."""
+    # ------------------------------------------------------------------ #
+    # Fast engine (default; no trace/watch/crash hooks active): fused
+    # charges, bound attributes, no chunk materialization for the common
+    # single-page range.  Arithmetic is identical to the scalar engine —
+    # see VirtualClock.advance_split for the exactness argument.
+    # ------------------------------------------------------------------ #
+    def _load_fast_detect(self, addr: int,
+                          site: Optional[str] = None) -> Any:
+        node = self._node
+        if not 0 <= addr < self._segwords:
+            raise SegmentationFault(self.pid, addr)
+        page, off = divmod(addr, self._psz)
+        copy = self._ensure_readable(node, page)
+        node.shared_instr_calls += 1
+        self._clock.advance_split(self._instr_total, self._instr_parts)
+        node.current.record_read(page, off)
+        n = self._accesses_since_yield + 1
+        if n >= YIELD_EVERY:
+            self._accesses_since_yield = 0
+            self.system.scheduler.yield_control(self.pid)
+        else:
+            self._accesses_since_yield = n
+        return copy.data[off]
+
+    def _load_fast_plain(self, addr: int,
+                         site: Optional[str] = None) -> Any:
+        node = self._node
+        if not 0 <= addr < self._segwords:
+            raise SegmentationFault(self.pid, addr)
+        page, off = divmod(addr, self._psz)
+        copy = self._ensure_readable(node, page)
+        self._clock.advance(self._cm.plain_access, CostCategory.BASE)
+        n = self._accesses_since_yield + 1
+        if n >= YIELD_EVERY:
+            self._accesses_since_yield = 0
+            self.system.scheduler.yield_control(self.pid)
+        else:
+            self._accesses_since_yield = n
+        return copy.data[off]
+
+    def _store_fast_detect(self, addr: int, value: Any,
+                           site: Optional[str] = None) -> None:
+        node = self._node
+        if not 0 <= addr < self._segwords:
+            raise SegmentationFault(self.pid, addr)
+        page, off = divmod(addr, self._psz)
+        copy = self._ensure_writable(node, page, off)
+        copy.data[off] = value
+        node.shared_instr_calls += 1
+        self._clock.advance_split(self._instr_total, self._instr_parts)
+        node.current.record_write(page, off)
+        n = self._accesses_since_yield + 1
+        if n >= YIELD_EVERY:
+            self._accesses_since_yield = 0
+            self.system.scheduler.yield_control(self.pid)
+        else:
+            self._accesses_since_yield = n
+
+    def _store_fast_plain(self, addr: int, value: Any,
+                          site: Optional[str] = None) -> None:
+        node = self._node
+        if not 0 <= addr < self._segwords:
+            raise SegmentationFault(self.pid, addr)
+        page, off = divmod(addr, self._psz)
+        copy = self._ensure_writable(node, page, off)
+        copy.data[off] = value
+        self._clock.advance(self._cm.plain_access, CostCategory.BASE)
+        n = self._accesses_since_yield + 1
+        if n >= YIELD_EVERY:
+            self._accesses_since_yield = 0
+            self.system.scheduler.yield_control(self.pid)
+        else:
+            self._accesses_since_yield = n
+
+    def _load_range_fast(self, addr: int, count: int,
+                         site: Optional[str] = None) -> List[Any]:
+        if count <= 0:
+            return []
+        self.system.segment.check_range(addr, count)
+        node = self._node
         psz = self._psz
-        while count > 0:
-            page, off = addr // psz, addr % psz
-            n = min(count, psz - off)
-            yield page, off, n
-            addr += n
-            count -= n
+        page, off = divmod(addr, psz)
+        n = psz - off
+        detect = self._detect
+        if count <= n:  # common case: the whole range on one page
+            copy = self._ensure_readable(node, page)
+            out = copy.data[off:off + count]
+            if detect:
+                node.current.record_read(page, off, count)
+        else:
+            out = []
+            remaining = count
+            while True:
+                copy = self._ensure_readable(node, page)
+                take = n if n < remaining else remaining
+                out += copy.data[off:off + take]
+                if detect:
+                    node.current.record_read(page, off, take)
+                remaining -= take
+                if not remaining:
+                    break
+                page += 1
+                off = 0
+                n = psz
+        if detect:
+            node.shared_instr_calls += count
+            self._charge_bulk_fused(count)
+        else:
+            self._clock.advance(self._cm.plain_access * count,
+                                CostCategory.BASE)
+        self._accesses_since_yield += count
+        if self._accesses_since_yield >= YIELD_EVERY:
+            self._accesses_since_yield = 0
+            self.system.scheduler.yield_control(self.pid)
+        return out
+
+    def _store_range_fast(self, addr: int, values: Sequence[Any],
+                          site: Optional[str] = None) -> None:
+        count = len(values)
+        if count == 0:
+            return
+        self.system.segment.check_range(addr, count)
+        node = self._node
+        psz = self._psz
+        page, off = divmod(addr, psz)
+        n = psz - off
+        record = self._detect and not self._diff_writes
+        if count <= n:  # common case: no slicing of ``values`` at all
+            copy = self._ensure_writable(node, page, off)
+            copy.data[off:off + count] = values
+            if record:
+                node.current.record_write(page, off, count)
+        else:
+            taken = 0
+            remaining = count
+            while True:
+                copy = self._ensure_writable(node, page, off)
+                take = n if n < remaining else remaining
+                copy.data[off:off + take] = values[taken:taken + take]
+                if record:
+                    node.current.record_write(page, off, take)
+                taken += take
+                remaining -= take
+                if not remaining:
+                    break
+                page += 1
+                off = 0
+                n = psz
+        if record:
+            node.shared_instr_calls += count
+            self._charge_bulk_fused(count)
+        else:
+            self._clock.advance(self._cm.plain_access * count,
+                                CostCategory.BASE)
+        self._accesses_since_yield += count
+        if self._accesses_since_yield >= YIELD_EVERY:
+            self._accesses_since_yield = 0
+            self.system.scheduler.yield_control(self.pid)
+
+    # ------------------------------------------------------------------ #
+    # Scalar reference engine (access_fast_path=False): the paper's
+    # literal instrumentation, one full analysis chain per word.  Kept for
+    # the equivalence suite and as the old side of bench_endtoend.py.
+    # ------------------------------------------------------------------ #
+    def _load_range_scalar(self, addr: int, count: int,
+                           site: Optional[str] = None) -> List[Any]:
+        if count <= 0:
+            return []
+        self.system.segment.check_range(addr, count)
+        node = self._node
+        clock = self._clock
+        cm = self._cm
+        detect = self._detect
+        proc_call = self._proc_call
+        ensure = self._ensure_readable
+        psz = self._psz
+        out: List[Any] = []
+        for a in range(addr, addr + count):
+            page, off = a // psz, a % psz
+            copy = ensure(node, page)
+            clock.advance(cm.plain_access, CostCategory.BASE)
+            if detect:
+                node.shared_instr_calls += 1
+                if proc_call:
+                    clock.advance(proc_call, CostCategory.PROC_CALL)
+                clock.advance(cm.access_check_shared,
+                              CostCategory.ACCESS_CHECK)
+                node.current.record_read(page, off)
+            out.append(copy.data[off])
+        self._after_access(addr, count, False, site)
+        return out
+
+    def _store_range_scalar(self, addr: int, values: Sequence[Any],
+                            site: Optional[str] = None) -> None:
+        count = len(values)
+        if count == 0:
+            return
+        self.system.segment.check_range(addr, count)
+        node = self._node
+        clock = self._clock
+        cm = self._cm
+        record = self._detect and not self._diff_writes
+        proc_call = self._proc_call
+        ensure = self._ensure_writable
+        psz = self._psz
+        for i, a in enumerate(range(addr, addr + count)):
+            page, off = a // psz, a % psz
+            copy = ensure(node, page, off)
+            copy.data[off] = values[i]
+            clock.advance(cm.plain_access, CostCategory.BASE)
+            if record:
+                node.shared_instr_calls += 1
+                if proc_call:
+                    clock.advance(proc_call, CostCategory.PROC_CALL)
+                clock.advance(cm.access_check_shared,
+                              CostCategory.ACCESS_CHECK)
+                node.current.record_write(page, off)
+        self._after_access(addr, count, True, site)
+
+    def _page_chunks(self, addr: int, count: int) -> List[Tuple[int, int, int]]:
+        """Split [addr, addr+count) into (page, offset, length) chunks.
+        The common single-page case is computed without looping."""
+        psz = self._psz
+        page, off = addr // psz, addr % psz
+        n = psz - off
+        if count <= n:
+            return [(page, off, count)]
+        chunks = [(page, off, n)]
+        count -= n
+        page += 1
+        while count >= psz:
+            chunks.append((page, 0, psz))
+            page += 1
+            count -= psz
+        if count:
+            chunks.append((page, 0, count))
+        return chunks
 
     def _charge_bulk(self, count: int, instrumented: bool) -> None:
         self._clock.advance(self._cm.plain_access * count, CostCategory.BASE)
@@ -857,6 +1187,24 @@ class Env:
                                     CostCategory.PROC_CALL)
             self._clock.advance(self._cm.access_check_shared * count,
                                 CostCategory.ACCESS_CHECK)
+
+    def _charge_bulk_fused(self, count: int) -> None:
+        """Bulk charge for ``count`` instrumented accesses as one fused
+        clock advance; the per-category parts are the same products
+        ``_charge_bulk`` computes, so ledgers come out bit-identical."""
+        cm = self._cm
+        base = cm.plain_access * count
+        acs = cm.access_check_shared * count
+        if self._proc_call:
+            pc = self._proc_call * count
+            self._clock.advance_split(
+                base + pc + acs,
+                ((CostCategory.BASE, base), (CostCategory.PROC_CALL, pc),
+                 (CostCategory.ACCESS_CHECK, acs)))
+        else:
+            self._clock.advance_split(
+                base + acs,
+                ((CostCategory.BASE, base), (CostCategory.ACCESS_CHECK, acs)))
 
     def _after_access(self, addr: int, count: int, is_write: bool,
                       site: Optional[str]) -> None:

@@ -1,0 +1,276 @@
+"""Batched access instrumentation: coalescing adjacent analysis calls.
+
+The ATOM-style rewriter (:mod:`repro.instrument.atom`) inserts one
+``call __race_analysis`` per surviving load/store — the paper's "Proc
+Call" overhead bar.  Vector kernels touch provably-contiguous word runs
+(``data[2i]`` then ``data[2i+1]``, a row sweep, a block copy), so many of
+those calls are *statically* redundant: the k-th call's effective address
+is the first call's plus k.
+
+This pass proves that contiguity and rewrites each such run into a single
+*ranged* analysis call carrying the run length in the instruction's
+immediate field: ``call __race_analysis`` with ``imm=count`` announces
+``count`` consecutive word accesses starting at ``base + offset``.  The
+interpreter (:mod:`repro.instrument.machine`) expands a ranged call into
+the identical per-word event sequence — one hook invocation per word, in
+ascending address order — so the analysis a hook observes is unchanged;
+only the number of *procedure calls* shrinks (``Machine.analysis_calls``),
+which is exactly the cost the batching is meant to remove.
+
+The proof is a forward, basic-block-local value numbering in *linear
+form*: every register value is an integer-linear combination of opaque
+atoms plus a constant.  Atoms are hash-consed so equal computations get
+equal numbers:
+
+* a load from an unmodified fp/gp slot is the atom of that slot at its
+  current store version (a store to the slot retires the atom);
+* a load through a computed address (heap) or a call result is a fresh,
+  never-matching atom;
+* ``ADD``/``SUB`` combine linear forms; ``MUL`` by a constant scales one;
+* every other operator folds constants or makes an opaque atom keyed by
+  the operator and its operands' value keys — two syntactically equal
+  non-linear computations over unchanged inputs still unify.
+
+Two analysis calls coalesce when they sit in the same run (no label,
+branch, jump, return or non-analysis call between them — those could
+reorder or interleave observable events), announce the same access kind
+(``ld``/``st``), and their address forms share the atom part with
+constants ascending by exactly 1.  The ranged call replaces the first
+call of the run, whose base register provably still holds the run's
+starting address at that point.
+
+The rewrite is opt-in (``coalesce_analysis_calls``), preserving the
+default pipeline's one-call-per-access fidelity to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.instrument.atom import ANALYSIS_SYMBOL
+from repro.instrument.isa import (STACK_BASES, STATIC_BASES, BinaryImage,
+                                  Function, Instruction, Op, Section)
+
+#: A value in linear form: a canonical tuple of ``(atom_id, coeff)``
+#: pairs (sorted, no zero coefficients) plus an integer constant.
+LinearForm = Tuple[Tuple[Tuple[int, int], ...], int]
+
+_CONST_ZERO: LinearForm = ((), 0)
+
+
+class _Atoms:
+    """Hash-consed opaque atoms: equal descriptors get equal ids."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[tuple, int] = {}
+        self._next = 0
+
+    def of(self, key: tuple) -> int:
+        atom = self._ids.get(key)
+        if atom is None:
+            atom = self._next
+            self._next += 1
+            self._ids[key] = atom
+        return atom
+
+    def fresh(self) -> int:
+        atom = self._next
+        self._next += 1
+        return atom
+
+
+def _add(a: LinearForm, b: LinearForm, sign: int = 1) -> LinearForm:
+    coeffs = dict(a[0])
+    for atom, c in b[0]:
+        coeffs[atom] = coeffs.get(atom, 0) + sign * c
+    packed = tuple(sorted((atom, c) for atom, c in coeffs.items() if c))
+    return (packed, a[1] + sign * b[1])
+
+
+def _scale(a: LinearForm, k: int) -> LinearForm:
+    if k == 0:
+        return _CONST_ZERO
+    return (tuple((atom, c * k) for atom, c in a[0]), a[1] * k)
+
+
+class _BlockValues:
+    """Forward value numbering over one basic-block-local window."""
+
+    def __init__(self, atoms: _Atoms) -> None:
+        self.atoms = atoms
+        self.regs: Dict[str, LinearForm] = {}
+        #: Store version per fp/gp slot; a store retires the slot's atom.
+        self.slot_ver: Dict[Tuple[str, int], int] = {}
+        #: Bumped when memory changes un-analyzably (store through a
+        #: computed address): retires every slot atom at once.
+        self.mem_epoch = 0
+
+    def get(self, reg: Optional[str]) -> LinearForm:
+        if reg is None:
+            return self._fresh()
+        val = self.regs.get(reg)
+        if val is None:
+            val = self._atom_form(("reg", reg))
+            self.regs[reg] = val
+        return val
+
+    def _fresh(self) -> LinearForm:
+        return (((self.atoms.fresh(), 1),), 0)
+
+    def _atom_form(self, key: tuple) -> LinearForm:
+        return (((self.atoms.of(key), 1),), 0)
+
+    def set(self, reg: Optional[str], val: LinearForm) -> None:
+        if reg is not None:
+            self.regs[reg] = val
+
+    def load(self, reg: Optional[str], base: Optional[str],
+             offset: int) -> None:
+        if base in STACK_BASES or base in STATIC_BASES:
+            # Slot-precise: same unmodified slot -> same atom.
+            ver = self.slot_ver.get((base, offset), 0)
+            self.set(reg, self._atom_form(
+                ("slot", base, offset, ver, self.mem_epoch)))
+        else:
+            self.set(reg, self._fresh())  # heap/unknown: never unifies
+
+    def store(self, base: Optional[str], offset: int) -> None:
+        if base in STACK_BASES or base in STATIC_BASES:
+            key = (base, offset)
+            self.slot_ver[key] = self.slot_ver.get(key, 0) + 1
+        else:
+            self.mem_epoch += 1  # could alias any slot
+
+    def alu(self, ins: Instruction) -> None:
+        op = ins.op
+        a = self.get(ins.srcs[0])
+        b = self.get(ins.srcs[1])
+        if op is Op.ADD:
+            self.set(ins.reg, _add(a, b))
+        elif op is Op.SUB:
+            self.set(ins.reg, _add(a, b, sign=-1))
+        elif op is Op.MUL and not a[0]:
+            self.set(ins.reg, _scale(b, a[1]))
+        elif op is Op.MUL and not b[0]:
+            self.set(ins.reg, _scale(a, b[1]))
+        else:
+            # Opaque but deterministic: keyed by operator and operand
+            # value keys, so repeated computations over unchanged inputs
+            # still unify.
+            self.set(ins.reg, self._atom_form(("op", op.value, a, b)))
+
+
+@dataclass
+class _Pending:
+    """An open run of coalescible analysis calls."""
+
+    first_index: int
+    kind: str
+    atoms: Tuple[Tuple[int, int], ...]
+    next_const: int
+    count: int
+
+
+@dataclass
+class BatchReport:
+    """What the pass did to one binary."""
+
+    binary: str
+    calls_before: int = 0
+    calls_after: int = 0
+    ranged_calls: int = 0
+    words_batched: int = 0
+
+    @property
+    def calls_eliminated(self) -> int:
+        return self.calls_before - self.calls_after
+
+
+def _flush(pending: Optional[_Pending], code: List[Instruction],
+           report: BatchReport) -> None:
+    """Materialize an open run: rewrite its first call as a ranged call
+    (the coalesced followers are already queued for dropping)."""
+    if pending is None or pending.count < 2:
+        return
+    first = code[pending.first_index]
+    code[pending.first_index] = Instruction(
+        Op.CALL, target=ANALYSIS_SYMBOL, srcs=first.srcs,
+        offset=first.offset, imm=pending.count, origin=first.origin)
+    report.ranged_calls += 1
+    report.words_batched += pending.count
+
+
+def coalesce_function(fn: Function, atoms: _Atoms,
+                      report: BatchReport) -> Function:
+    code = list(fn.instructions)
+    drop: set = set()
+    vals = _BlockValues(atoms)
+    pending: Optional[_Pending] = None
+    for i, ins in enumerate(code):
+        op = ins.op
+        if op is Op.CALL and ins.target == ANALYSIS_SYMBOL:
+            report.calls_before += 1
+            base = ins.srcs[0] if ins.srcs else None
+            kind = ins.srcs[1] if len(ins.srcs) > 1 else "ld"
+            addr = _add(vals.get(base), ((), ins.offset))
+            if (pending is not None and kind == pending.kind
+                    and addr[0] and addr[0] == pending.atoms
+                    and addr[1] == pending.next_const):
+                pending.next_const += 1
+                pending.count += 1
+                drop.add(i)
+            else:
+                _flush(pending, code, report)
+                pending = (_Pending(i, kind, addr[0], addr[1] + 1, 1)
+                           if addr[0] else None)
+            continue
+        if op in (Op.LABEL, Op.BEQZ, Op.BNEZ, Op.J, Op.RET, Op.CALL):
+            # Block boundary or an event-carrying instruction: close the
+            # run.  A non-analysis call additionally clobbers memory.
+            _flush(pending, code, report)
+            pending = None
+            if op is Op.LABEL:
+                vals = _BlockValues(atoms)
+            elif op is Op.CALL:
+                vals.mem_epoch += 1
+                vals.set("v0", vals._fresh())
+            continue
+        if op is Op.LD:
+            vals.load(ins.reg, ins.base, ins.offset)
+        elif op is Op.ST:
+            vals.store(ins.base, ins.offset)
+        elif op is Op.LI:
+            vals.set(ins.reg, ((), ins.imm or 0))
+        elif op is Op.MOV:
+            vals.set(ins.reg, vals.get(ins.srcs[0]))
+        elif ins.reg is not None and len(ins.srcs) == 2:
+            vals.alu(ins)
+    _flush(pending, code, report)
+    out = [ins for i, ins in enumerate(code) if i not in drop]
+    report.calls_after += sum(
+        1 for ins in out
+        if ins.op is Op.CALL and ins.target == ANALYSIS_SYMBOL)
+    return Function(fn.name, out, fn.section, frame_words=fn.frame_words)
+
+
+def coalesce_analysis_calls(
+        image: BinaryImage) -> Tuple[BinaryImage, BatchReport]:
+    """Rewrite an instrumented binary, fusing provably-contiguous runs of
+    analysis calls into ranged calls.  Returns the new image and a report
+    of how many calls were eliminated."""
+    report = BatchReport(f"{image.name}+batch")
+    out = BinaryImage(report.binary)
+    atoms = _Atoms()
+    for name in sorted(image.functions):
+        fn = image.functions[name]
+        if fn.section is not Section.APP:
+            out.add(fn)
+            n = sum(1 for ins in fn.instructions
+                    if ins.op is Op.CALL and ins.target == ANALYSIS_SYMBOL)
+            report.calls_before += n
+            report.calls_after += n
+            continue
+        out.add(coalesce_function(fn, atoms, report))
+    out.entry = image.entry
+    return out, report

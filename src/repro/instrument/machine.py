@@ -54,6 +54,14 @@ class AnalysisCounter:
             self.private += 1
         self.events.append((addr, is_store))
 
+    def range_access(self, addr: int, count: int, is_store: bool,
+                     origin: str) -> None:
+        """Ranged entry point for batched instrumentation: classifies and
+        records every word, so the observable event stream is identical
+        to ``count`` scalar calls — only the procedure-call count shrank."""
+        for i in range(count):
+            self(addr + i, is_store, origin)
+
 
 class Machine:
     """One mini-ISA execution context."""
@@ -183,11 +191,26 @@ class Machine:
                 pc = labels[ins.target]
             elif op is Op.CALL:
                 if ins.target == ANALYSIS_SYMBOL:
+                    # One procedure call regardless of how many words a
+                    # ranged call (imm = run length) announces — that is
+                    # the cost batching removes.
                     self.analysis_calls += 1
                     base_val = get(ins.srcs[0]) if ins.srcs else 0
-                    self.analysis_hook(base_val + ins.offset,
-                                       ins.srcs[1] == "st" if len(ins.srcs) > 1
-                                       else False, ins.origin)
+                    addr = base_val + ins.offset
+                    is_store = (ins.srcs[1] == "st"
+                                if len(ins.srcs) > 1 else False)
+                    count = ins.imm if ins.imm is not None else 1
+                    if count == 1:
+                        self.analysis_hook(addr, is_store, ins.origin)
+                    else:
+                        range_hook = getattr(self.analysis_hook,
+                                             "range_access", None)
+                        if range_hook is not None:
+                            range_hook(addr, count, is_store, ins.origin)
+                        else:
+                            for k in range(count):
+                                self.analysis_hook(addr + k, is_store,
+                                                   ins.origin)
                 else:
                     call_args = [get(ARG_REGS[i]) for i in range(6)]
                     regs[RV] = self._call(ins.target, call_args)

@@ -73,6 +73,13 @@ class WireSizer:
             raise ValueError("page_size_words must be a positive multiple of 8")
         self.nprocs = nprocs
         self.page_size_words = page_size_words
+        # Shape-dependent sizes are constants of the configuration, so
+        # they are computed once here; the per-message methods below just
+        # return them.  Sizing a message is pure arithmetic on these
+        # constants — no structure is ever serialized to measure it.
+        self._vc_bytes = INT_BYTES * nprocs
+        self._bitmap_bytes = page_size_words // 8
+        self._page_data_bytes = page_size_words * 8
 
     # -- primitive fields ------------------------------------------------ #
     def ints(self, n: int = 1) -> int:
@@ -81,7 +88,7 @@ class WireSizer:
 
     def vector_clock(self) -> int:
         """One interval-index entry per process."""
-        return INT_BYTES * self.nprocs
+        return self._vc_bytes
 
     # -- protocol structures --------------------------------------------- #
     def notice_list(self, npages: int) -> int:
@@ -95,16 +102,17 @@ class WireSizer:
     def interval_record(self, nwrite_notices: int, nread_notices: int = 0) -> int:
         """An interval on the wire: owner pid + index + version vector +
         its notice lists."""
-        return (self.ints(2) + self.vector_clock()
-                + self.notice_list(nwrite_notices)
-                + self.notice_list(nread_notices))
+        return (INT_BYTES * (4 + nwrite_notices + nread_notices)
+                + self._vc_bytes)
 
     def bitmap(self) -> int:
         """A word-granularity access bitmap for one page: one bit per word."""
-        return self.page_size_words // 8
+        return self._bitmap_bytes
 
     def page_data(self, word_bytes: int = 8) -> int:
         """Full page contents (Alpha: 8-byte words)."""
+        if word_bytes == 8:
+            return self._page_data_bytes
         return self.page_size_words * word_bytes
 
     def diff(self, nchanged_words: int, word_bytes: int = 8) -> int:

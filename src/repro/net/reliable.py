@@ -86,6 +86,12 @@ class ReliableChannel:
         #: network duplicates of a fragment reuse its seqno, which is how
         #: the receiver recognizes and suppresses the extra copies.
         self._next_seq: Dict[Tuple[int, int], int] = {}
+        #: Memoized fragmentation plans keyed by body size.  Traffic is
+        #: dominated by a handful of fixed shapes (page replies, barrier
+        #: arrivals, acks), so each plan is computed once per channel —
+        #: retransmitted and repeated messages reuse the tuple instead of
+        #: re-deriving it.
+        self._frag_cache: Dict[int, Tuple[int, ...]] = {}
 
     # -- Transport surface ------------------------------------------------ #
     @property
@@ -114,7 +120,10 @@ class ReliableChannel:
         self._next_seq[key] = seq + 1
         return seq
 
-    def _fragment_sizes(self, body_bytes: int) -> list:
+    def _fragment_sizes(self, body_bytes: int) -> Tuple[int, ...]:
+        cached = self._frag_cache.get(body_bytes)
+        if cached is not None:
+            return cached
         capacity = self.max_datagram - HEADER_BYTES
         sizes = []
         remaining = body_bytes
@@ -122,7 +131,9 @@ class ReliableChannel:
             sizes.append(capacity)
             remaining -= capacity
         sizes.append(remaining)  # possibly 0 for an empty body
-        return sizes
+        plan = tuple(sizes)
+        self._frag_cache[body_bytes] = plan
+        return plan
 
     def send(self, tag: str, src: int, dst: int, payload: Any,
              body_bytes: int, src_clock: VirtualClock,

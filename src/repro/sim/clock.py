@@ -41,6 +41,26 @@ class VirtualClock:
         self.ledger.charge(category, cycles)
         return self.now
 
+    def advance_split(self, total: float, parts) -> float:
+        """Advance the clock by a pre-summed ``total`` in one step while
+        attributing the charge per category via ``parts`` — an iterable of
+        ``(category, cycles)`` pairs whose cycles sum to ``total``.
+
+        This is the fused-charge entry point of the access fast path: a
+        detected shared access makes one ``advance_split`` call instead of
+        three ``advance`` calls.  Because every cost-model constant is a
+        dyadic rational far below 2**52, float addition over them is exact
+        and associative here, so ``now`` and every per-category ledger
+        total come out bit-identical to the sequential-advance chain.
+        """
+        if total < 0:
+            raise ValueError(f"cannot advance clock by negative cycles ({total})")
+        self.now += total
+        charge = self.ledger.charge
+        for category, cycles in parts:
+            charge(category, cycles)
+        return self.now
+
     def wait_until(self, t: float) -> float:
         """Move the clock forward to absolute time ``t`` if ``t`` is later.
 

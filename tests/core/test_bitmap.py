@@ -174,3 +174,69 @@ def test_union_matches_reference(xs, ys):
     a = from_set(xs)
     a.union_update(from_set(ys))
     assert sorted(a.iter_set_bits()) == sorted(xs | ys)
+
+# Range fast path vs per-bit reference, on arbitrary pre-populated maps
+# (the big-int mask must OR into existing bytes, never overwrite them).
+range_specs = st.tuples(indices, st.integers(min_value=0, max_value=WIDTH))
+
+
+def _clamp(spec):
+    start, count = spec
+    return start, min(count, WIDTH - start)
+
+
+@given(index_sets, range_specs)
+def test_set_range_on_populated_bitmap_matches_per_bit(bits, spec):
+    start, count = _clamp(spec)
+    fast = from_set(bits)
+    ref = from_set(bits)
+    fast.set_range(start, count)
+    for i in range(start, start + count):
+        ref.set(i)
+    assert fast.to_bytes() == ref.to_bytes()
+    assert sorted(fast.iter_set_bits()) == sorted(
+        set(bits) | set(range(start, start + count)))
+
+
+@given(st.lists(range_specs, max_size=6))
+def test_overlapping_ranges_match_per_bit(specs):
+    fast = Bitmap(WIDTH)
+    expected = set()
+    for spec in specs:
+        start, count = _clamp(spec)
+        fast.set_range(start, count)
+        expected |= set(range(start, start + count))
+    assert sorted(fast.iter_set_bits()) == sorted(expected)
+    assert fast.count() == len(expected)
+
+
+@given(st.lists(range_specs, max_size=4), index_sets)
+def test_union_update_on_range_built_bitmaps(specs, bits):
+    a = Bitmap(WIDTH)
+    expected = set()
+    for spec in specs:
+        start, count = _clamp(spec)
+        a.set_range(start, count)
+        expected |= set(range(start, start + count))
+    a.union_update(from_set(bits))
+    assert sorted(a.iter_set_bits()) == sorted(expected | bits)
+
+
+@given(range_specs)
+def test_clear_on_range_built_bitmap(spec):
+    start, count = _clamp(spec)
+    bm = Bitmap(WIDTH)
+    bm.set_range(start, count)
+    bm.clear()
+    assert not bm.any()
+    assert bm.to_bytes() == bytes(WIDTH // 8)
+
+
+@given(index_sets, range_specs)
+def test_overlaps_after_range_fill(bits, spec):
+    start, count = _clamp(spec)
+    a = Bitmap(WIDTH)
+    a.set_range(start, count)
+    covered = set(range(start, start + count))
+    assert a.overlaps(from_set(bits)) == bool(covered & bits)
+    assert a.intersection_bits(from_set(bits)) == sorted(covered & bits)

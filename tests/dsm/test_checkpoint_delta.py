@@ -1,0 +1,222 @@
+"""Delta checkpoints: round-trip exactness, chain validation, and the
+bytes they save.
+
+The contract: ``apply_delta(prev, encode_delta(prev, snap))`` reproduces
+``snap``'s canonical JSON exactly; ``load_dir`` replays a delta chain
+into the same full snapshots a full-checkpoint directory holds (modulo
+``clock_now``, which legitimately differs across *runs* because delta
+mode prices fewer checkpoint-write bytes); recovery from delta
+checkpoints reproduces the crash-free race report byte-identically; and
+the written bytes genuinely shrink.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.dsm.checkpoint import (CheckpointManager, DeltaSnapshot,
+                                  NodeSnapshot, apply_delta, encode_delta,
+                                  load_checkpoint)
+from repro.errors import CheckpointError
+from tests.helpers import run_app_with_system
+
+
+def _report_lines(result):
+    return sorted(str(r) for r in result.races)
+
+
+def _snapshot_pairs(app_name="water", nprocs=4):
+    """Consecutive-generation full snapshots of every node, harvested
+    from a real checkpointed run."""
+    spec = get_app(app_name)
+    import tempfile
+    with tempfile.TemporaryDirectory() as d:
+        spec.run(nprocs=nprocs, checkpoint_dir=d)
+        mgr = CheckpointManager.load_dir(d)
+        pairs = []
+        for pid, gens in sorted(mgr._history.items()):
+            ordered = [gens[g] for g in sorted(gens)]
+            pairs.extend(zip(ordered, ordered[1:]))
+        return pairs
+
+
+# ---------------------------------------------------------------------- #
+# Round-trip exactness.
+# ---------------------------------------------------------------------- #
+def test_delta_roundtrip_byte_exact():
+    pairs = _snapshot_pairs()
+    assert pairs
+    for prev, snap in pairs:
+        delta = encode_delta(prev, snap)
+        rebuilt = apply_delta(prev, delta)
+        assert rebuilt.to_json() == snap.to_json()
+
+
+def test_delta_smaller_than_full():
+    pairs = _snapshot_pairs()
+    total_delta = sum(encode_delta(p, s).nbytes for p, s in pairs)
+    total_full = sum(s.nbytes for _p, s in pairs)
+    assert total_delta < total_full
+
+
+def test_unchanged_components_are_omitted():
+    pairs = _snapshot_pairs()
+    delta = encode_delta(*pairs[0])
+    assert delta.is_delta
+    # At least one page survived an epoch untouched on some node, and
+    # the encoder omitted it.
+    kept = [
+        1 for p, s in pairs
+        for k in p.data["pages"]
+        if k in s.data["pages"]
+        and k not in encode_delta(p, s).data["pages"]["set"]]
+    assert kept
+
+
+# ---------------------------------------------------------------------- #
+# Chain validation.
+# ---------------------------------------------------------------------- #
+def test_delta_chain_gap_detected():
+    pairs = _snapshot_pairs()
+    # Find two pairs on the same pid to splice out a link.
+    by_pid = {}
+    for prev, snap in pairs:
+        by_pid.setdefault(prev.pid, []).append((prev, snap))
+    pid, chain = next((p, c) for p, c in by_pid.items() if len(c) >= 2)
+    g0_prev, _ = chain[0]
+    _, g2_snap = chain[1]
+    delta_skipping = encode_delta(chain[1][0], g2_snap)
+    with pytest.raises(CheckpointError, match="chain gap"):
+        apply_delta(g0_prev, delta_skipping)
+
+
+def test_delta_base_hash_mismatch_detected():
+    pairs = _snapshot_pairs()
+    prev, snap = pairs[0]
+    delta = encode_delta(prev, snap)
+    tampered = dict(prev.data)
+    tampered["epoch"] = prev.data["epoch"] + 1000
+    fake_base = NodeSnapshot(
+        {**tampered, "generation": prev.generation})
+    with pytest.raises(CheckpointError, match="base mismatch"):
+        apply_delta(fake_base, delta)
+
+
+def test_delta_wrong_pid_rejected():
+    pairs = _snapshot_pairs()
+    prev, snap = pairs[0]
+    other_prev = next(p for p, _s in pairs if p.pid != prev.pid)
+    delta = encode_delta(prev, snap)
+    with pytest.raises(CheckpointError):
+        apply_delta(other_prev, delta)
+    with pytest.raises(CheckpointError):
+        encode_delta(other_prev, snap)
+
+
+def test_delta_cannot_load_standalone(tmp_path):
+    pairs = _snapshot_pairs()
+    prev, snap = pairs[0]
+    delta = encode_delta(prev, snap)
+    path = tmp_path / "ckpt_p9_g1.json"
+    path.write_text(delta.to_json())
+    loaded = load_checkpoint(str(path))
+    assert isinstance(loaded, DeltaSnapshot)
+    with pytest.raises(CheckpointError, match="load_dir"):
+        NodeSnapshot.from_json(delta.to_json())
+    # A directory whose chain starts with a delta is rejected outright.
+    with pytest.raises(CheckpointError, match="no full base"):
+        CheckpointManager.load_dir(str(tmp_path))
+
+
+# ---------------------------------------------------------------------- #
+# Manager behavior end to end.
+# ---------------------------------------------------------------------- #
+def test_delta_directory_replays_to_full_snapshots(tmp_path):
+    full_dir, delta_dir = str(tmp_path / "full"), str(tmp_path / "delta")
+    spec = get_app("water")
+    free = spec.run(nprocs=4, checkpoint_dir=full_dir)
+    dres = spec.run(nprocs=4, checkpoint_dir=delta_dir,
+                    checkpoint_delta=True)
+    assert _report_lines(free) == _report_lines(dres)
+    mf = CheckpointManager.load_dir(full_dir)
+    md = CheckpointManager.load_dir(delta_dir)
+    for pid in range(4):
+        assert sorted(mf._history[pid]) == sorted(md._history[pid])
+        for gen in sorted(mf._history[pid]):
+            a = dict(mf._history[pid][gen].data)
+            b = dict(md._history[pid][gen].data)
+            # clock_now alone may differ: delta mode prices fewer
+            # checkpoint-write bytes, so virtual clocks advance less.
+            a.pop("clock_now"), b.pop("clock_now")
+            assert a == b
+
+
+def test_delta_directory_is_smaller_on_disk(tmp_path):
+    full_dir, delta_dir = str(tmp_path / "full"), str(tmp_path / "delta")
+    spec = get_app("water")
+    free = spec.run(nprocs=4, checkpoint_dir=full_dir)
+    dres = spec.run(nprocs=4, checkpoint_dir=delta_dir,
+                    checkpoint_delta=True)
+    size = lambda d: sum(  # noqa: E731
+        os.path.getsize(os.path.join(d, n)) for n in os.listdir(d))
+    assert size(delta_dir) < size(full_dir)
+    # ... and the priced bytes shrink with the written bytes.
+    assert dres.crash_stats.checkpoint_bytes < \
+        free.crash_stats.checkpoint_bytes
+
+
+def test_generation_zero_always_full(tmp_path):
+    d = str(tmp_path / "delta")
+    get_app("sor").run(nprocs=4, checkpoint_dir=d, checkpoint_delta=True)
+    for pid in range(4):
+        first = load_checkpoint(os.path.join(d, f"ckpt_p{pid}_g0.json"))
+        assert not first.is_delta
+        second = load_checkpoint(os.path.join(d, f"ckpt_p{pid}_g1.json"))
+        assert second.is_delta
+
+
+def test_crashy_delta_run_reproduces_crash_free_report():
+    spec = get_app("water")
+    clean = spec.run(nprocs=4)
+    crashy = spec.run(nprocs=4, crash_rate=0.02, crash_seed=3,
+                      checkpoint_delta=True)
+    assert crashy.crash_stats.crashes > 0
+    assert crashy.crash_stats.recoveries_from_checkpoint == \
+        crashy.crash_stats.crashes
+    assert _report_lines(crashy) == _report_lines(clean)
+    assert crashy.unverifiable == []
+
+
+def test_checkpoint_delta_implies_checkpointing():
+    _sys, res = run_app_with_system(
+        lambda env: env.barrier(), checkpoint_delta=True)
+    assert res.config.checkpointing_enabled
+    assert res.crash_stats.checkpoints_written > 0
+
+
+def test_snapshots_do_not_alias_live_pages():
+    """A retained snapshot must freeze barrier-time page contents; the
+    node keeps mutating its page lists afterwards (the regression that
+    broke delta chains mid-run)."""
+    from repro.dsm.cvm import CVM
+    from tests.helpers import small_config
+
+    def app(env):
+        x = env.malloc(4, name="x")
+        env.barrier()           # generation 1 checkpoint
+        env.store(x, env.pid + 100)
+        env.barrier()
+
+    system = CVM(small_config(nprocs=2, checkpoint=True))
+    system.run(app)
+    mgr = system.checkpoints
+    for pid in range(2):
+        snap = mgr.latest(pid)
+        text = snap.to_json()
+        node = system.nodes[pid]
+        for copy in node.pages.values():
+            if copy.data is not None:
+                copy.data[0] = 424242
+        assert snap.to_json() == text
+        assert "424242" not in snap.to_json()

@@ -129,3 +129,121 @@ def test_compute_charges_base_only():
                                       nprocs=1)
     assert large.aggregate_ledger().overhead == \
         pytest.approx(small.aggregate_ledger().overhead)
+
+
+# ---------------------------------------------------------------------- #
+# _page_chunks and the range engines' page-splitting edge cases.
+# ---------------------------------------------------------------------- #
+def _chunks_reference(addr, count, psz):
+    out = []
+    for a in range(addr, addr + count):
+        page, off = divmod(a, psz)
+        if out and out[-1][0] == page:
+            page0, off0, length = out[-1]
+            out[-1] = (page0, off0, length + 1)
+        else:
+            out.append((page, off, 1))
+    return out
+
+
+@pytest.mark.parametrize("addr,count", [
+    (0, 1), (0, 16), (5, 11), (5, 12), (15, 1), (15, 2),
+    (0, 17), (0, 32), (0, 33), (7, 40), (16, 16), (31, 3),
+])
+def test_page_chunks_match_reference(addr, count):
+    def app(env):
+        return env._page_chunks(addr, count)
+
+    res = run_app(app, nprocs=1)
+    assert res.results[0] == _chunks_reference(addr, count, 16)
+
+
+def test_page_chunks_single_page_cases():
+    """The loop-free single-page case covers exact fits too."""
+    def app(env):
+        return [env._page_chunks(0, 16),    # exactly one full page
+                env._page_chunks(3, 13),    # to the page's last word
+                env._page_chunks(16, 1),    # first word of a later page
+                env._page_chunks(31, 1)]    # last word of a page
+
+    res = run_app(app, nprocs=1)
+    assert res.results[0] == [[(0, 0, 16)], [(0, 3, 13)],
+                              [(1, 0, 1)], [(1, 15, 1)]]
+
+
+def test_store_range_exact_page_multiple_roundtrip():
+    def app(env):
+        x = env.malloc(48, name="x")      # three full 16-word pages
+        env.store_range(x, list(range(48)))
+        return env.load_range(x, 48)
+
+    res = run_app(app, nprocs=1)
+    assert res.results == [list(range(48))]
+
+
+def test_store_range_straddling_unaligned_roundtrip():
+    def app(env):
+        x = env.malloc(64, name="x")
+        env.store_range(x + 13, list(range(100, 137)))  # 37 words, 3 pages
+        return env.load_range(x + 13, 37)
+
+    res = run_app(app, nprocs=1)
+    assert res.results == [list(range(100, 137))]
+
+
+def test_store_range_accepts_tuple_without_copy():
+    """The single-page path assigns the sequence into the page slice
+    directly — no intermediate list copy — so any sequence works."""
+    def app(env):
+        x = env.malloc(16, name="x")
+        env.store_range(x + 2, (7, 8, 9))
+        return env.load_range(x, 6)
+
+    res = run_app(app, nprocs=1)
+    assert res.results == [[0, 0, 7, 8, 9, 0]]
+
+
+def test_store_range_does_not_mutate_caller_values():
+    def app(env):
+        x = env.malloc(40, name="x")
+        vals = list(range(40))
+        env.store_range(x, vals)
+        return vals
+
+    res = run_app(app, nprocs=1)
+    assert res.results == [list(range(40))]
+
+
+def test_out_of_segment_range_faults_without_partial_write():
+    from repro.errors import ProcessFailure
+
+    def app(env):
+        end = env.system.segment.segment_words
+        x = env.malloc(8, name="x")
+        env.barrier()
+        env.store_range(end - 4, [1] * 8)  # runs off the end
+
+    from repro.dsm.cvm import CVM
+    from repro.errors import SegmentationFault
+    from tests.helpers import small_config
+    system = CVM(small_config(nprocs=1))
+    with pytest.raises(ProcessFailure) as exc_info:
+        system.run(app)
+    assert isinstance(exc_info.value.__cause__, SegmentationFault)
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_range_engines_agree_on_straddling_contents(fast):
+    """Both engines place identical words for a multi-page store; the
+    racy overlap lands at the same addresses either way."""
+    def app(env):
+        x = env.malloc(40, name="x")
+        env.barrier()
+        if env.pid == 0:
+            env.store_range(x + 10, list(range(200, 224)))  # words 10..33
+        else:
+            env.store_range(x + 30, [5] * 8)                # words 30..37
+        env.barrier()
+
+    res = run_app(app, nprocs=2, access_fast_path=fast)
+    assert sorted(r.addr for r in res.races) == [30, 31, 32, 33]

@@ -1,0 +1,265 @@
+"""Batched access instrumentation: the coalescing pass and the ranged
+analysis-call dispatch.
+
+The contract: a batched binary fires the *identical* per-word analysis
+event stream (addresses, kinds, order) as the one-call-per-access
+binary, while ``Machine.analysis_calls`` — the procedure-call count the
+paper's "Proc Call" overhead bar prices — strictly shrinks wherever a
+run was provably contiguous.
+"""
+
+import pytest
+
+from repro.instrument.atom import ANALYSIS_SYMBOL, AtomRewriter
+from repro.instrument.batch import coalesce_analysis_calls
+from repro.instrument.binaries import APP_NAMES, binary_for
+from repro.instrument.isa import (Function, Instruction, Op, Section,
+                                  BinaryImage)
+from repro.instrument.machine import AnalysisCounter, Machine
+
+ALL_KERNELS = list(APP_NAMES) + ["lu"]
+
+
+def _instrumented(app):
+    return AtomRewriter().instrument(binary_for(app))
+
+
+def _analysis_calls(image):
+    return [ins for _fn, ins in image.all_instructions()
+            if ins.op is Op.CALL and ins.target == ANALYSIS_SYMBOL]
+
+
+# ---------------------------------------------------------------------- #
+# Static properties of the rewrite.
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("app", ALL_KERNELS)
+def test_words_conserved(app):
+    """Total announced words (ranged calls weighted by imm) match the
+    original call count: nothing dropped, nothing double-announced."""
+    image = _instrumented(app)
+    batched, report = coalesce_analysis_calls(image)
+    before = len(_analysis_calls(image))
+    after_words = sum(ins.imm or 1 for ins in _analysis_calls(batched))
+    assert after_words == before == report.calls_before
+    assert len(_analysis_calls(batched)) == report.calls_after
+
+
+def test_fft_butterfly_coalesces():
+    """The FFT butterfly touches data[2i] then data[2i+1] — a provable
+    run the pass must find."""
+    _batched, report = coalesce_analysis_calls(_instrumented("fft"))
+    assert report.ranged_calls > 0
+    assert report.calls_eliminated > 0
+
+
+def test_ranged_call_carries_count_in_imm():
+    batched, report = coalesce_analysis_calls(_instrumented("fft"))
+    ranged = [ins for ins in _analysis_calls(batched)
+              if ins.imm is not None and ins.imm > 1]
+    assert len(ranged) == report.ranged_calls
+    for ins in ranged:
+        assert ins.srcs and ins.srcs[1] in ("ld", "st")
+
+
+def test_non_app_sections_untouched():
+    image = _instrumented("fft")
+    batched, _report = coalesce_analysis_calls(image)
+    for name, fn in image.functions.items():
+        if fn.section is not Section.APP:
+            assert batched.functions[name] is fn
+
+
+# ---------------------------------------------------------------------- #
+# Dynamic equivalence: identical event streams, fewer calls.
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("app,args", [("fft", (16,)), ("sor", (8, 8, 2)),
+                                      ("tsp", (6,)), ("water", (8, 2)),
+                                      ("lu", (8,))])
+def test_event_stream_identical(app, args):
+    image = _instrumented(app)
+    batched, report = coalesce_analysis_calls(image)
+    m_ref, m_bat = Machine(image), Machine(batched)
+    r_ref = m_ref.run(*args)
+    r_bat = m_bat.run(*args)
+    assert r_ref == r_bat
+    assert m_ref.analysis_hook.events == m_bat.analysis_hook.events
+    assert m_ref.analysis_hook.shared == m_bat.analysis_hook.shared
+    assert m_ref.analysis_hook.private == m_bat.analysis_hook.private
+    assert m_bat.analysis_calls <= m_ref.analysis_calls
+    if report.ranged_calls:
+        # Any executed ranged call shrinks the dynamic call count.
+        assert m_bat.analysis_calls < m_ref.analysis_calls or \
+            m_ref.analysis_calls == 0
+
+
+def test_memory_state_identical_after_run():
+    image = _instrumented("sor")
+    batched, _ = coalesce_analysis_calls(image)
+    m_ref, m_bat = Machine(image), Machine(batched)
+    m_ref.run(8, 8, 2)
+    m_bat.run(8, 8, 2)
+    assert m_ref.memory == m_bat.memory
+
+
+def test_ranged_dispatch_without_range_hook_expands_per_word():
+    """A hook without ``range_access`` still sees per-word events."""
+    class Plain:
+        def __init__(self):
+            self.seen = []
+
+        def __call__(self, addr, is_store, origin):
+            self.seen.append((addr, is_store))
+
+    fn = Function("k", [
+        Instruction(Op.CALL, target=ANALYSIS_SYMBOL, srcs=("a0", "st"),
+                    offset=0, imm=3),
+        Instruction(Op.RET),
+    ], Section.APP)
+    image = BinaryImage("t")
+    image.add(fn)
+    image.entry = "k"
+    hook = Plain()
+    m = Machine(image, analysis_hook=hook)
+    m.run(1000)
+    assert hook.seen == [(1000, True), (1001, True), (1002, True)]
+    assert m.analysis_calls == 1
+
+
+def test_range_access_hook_receives_one_call():
+    class Ranged(AnalysisCounter):
+        def __init__(self):
+            super().__init__()
+            self.range_calls = []
+
+        def range_access(self, addr, count, is_store, origin):
+            self.range_calls.append((addr, count, is_store))
+            super().range_access(addr, count, is_store, origin)
+
+    fn = Function("k", [
+        Instruction(Op.CALL, target=ANALYSIS_SYMBOL, srcs=("a0", "ld"),
+                    offset=2, imm=4),
+        Instruction(Op.RET),
+    ], Section.APP)
+    image = BinaryImage("t")
+    image.add(fn)
+    image.entry = "k"
+    hook = Ranged()
+    m = Machine(image, analysis_hook=hook)
+    m.run(500)
+    assert hook.range_calls == [(502, 4, False)]
+    assert hook.events == [(502 + i, False) for i in range(4)]
+    assert m.analysis_calls == 1
+
+
+# ---------------------------------------------------------------------- #
+# Soundness guards: what must NOT coalesce.
+# ---------------------------------------------------------------------- #
+def _call(base, kind, offset=0):
+    return Instruction(Op.CALL, target=ANALYSIS_SYMBOL,
+                       srcs=(base, kind), offset=offset)
+
+
+def _image_of(instructions):
+    image = BinaryImage("t")
+    image.add(Function("k", list(instructions) + [Instruction(Op.RET)],
+                       Section.APP))
+    image.entry = "k"
+    return image
+
+
+def test_mixed_kinds_do_not_coalesce():
+    image = _image_of([_call("a0", "ld", 0), _call("a0", "st", 1)])
+    _batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 0
+
+
+def test_same_address_does_not_coalesce():
+    image = _image_of([_call("a0", "ld", 0), _call("a0", "ld", 0)])
+    _batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 0
+
+
+def test_descending_addresses_do_not_coalesce():
+    image = _image_of([_call("a0", "ld", 1), _call("a0", "ld", 0)])
+    _batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 0
+
+
+def test_consecutive_offsets_coalesce():
+    image = _image_of([_call("a0", "ld", 0), _call("a0", "ld", 1),
+                       _call("a0", "ld", 2)])
+    batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 1
+    assert report.words_batched == 3
+    calls = _analysis_calls(batched)
+    assert len(calls) == 1 and calls[0].imm == 3
+
+
+def test_label_breaks_run():
+    image = _image_of([_call("a0", "ld", 0),
+                       Instruction(Op.LABEL, target="L1"),
+                       _call("a0", "ld", 1)])
+    _batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 0
+
+
+def test_intervening_call_breaks_run():
+    image = _image_of([_call("a0", "ld", 0),
+                       Instruction(Op.CALL, target="helper"),
+                       _call("a0", "ld", 1)])
+    _batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 0
+
+
+def test_base_redefinition_breaks_run():
+    # a0 is overwritten between the calls: address forms can't unify.
+    image = _image_of([_call("a0", "ld", 0),
+                       Instruction(Op.LI, reg="a0", imm=7),
+                       _call("a0", "ld", 1)])
+    _batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 0
+
+
+def test_rederived_address_through_slot_coalesces():
+    """The compiler's idiom: reload the pointer from its fp slot, add a
+    constant, call.  Same slot, constants ascending -> coalesce."""
+    seq = []
+    for k in (0, 1):
+        seq.append(Instruction(Op.LD, reg="t0", base="fp", offset=3))
+        seq.append(Instruction(Op.LI, reg="t1", imm=k))
+        seq.append(Instruction(Op.ADD, reg="t0", srcs=("t0", "t1")))
+        seq.append(_call("t0", "st"))
+        seq.append(Instruction(Op.ST, reg="zero", base="t0", offset=0))
+    image = _image_of(seq)
+    _batched, report = coalesce_analysis_calls(image)
+    # The ST through t0 (computed address) bumps the memory epoch, which
+    # retires the fp-slot atom: the second reload gets a fresh atom and
+    # the run must NOT survive — the store could have aliased the slot.
+    assert report.ranged_calls == 0
+
+
+def test_rederived_address_without_aliasing_store_coalesces():
+    seq = []
+    for k in (0, 1):
+        seq.append(Instruction(Op.LD, reg="t0", base="fp", offset=3))
+        seq.append(Instruction(Op.LI, reg="t1", imm=k))
+        seq.append(Instruction(Op.ADD, reg="t0", srcs=("t0", "t1")))
+        seq.append(_call("t0", "ld"))
+        seq.append(Instruction(Op.LD, reg="t2", base="t0", offset=0))
+    image = _image_of(seq)
+    _batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 1
+    assert report.words_batched == 2
+
+
+def test_store_to_feeding_slot_breaks_run():
+    seq = [Instruction(Op.LD, reg="t0", base="fp", offset=3),
+           _call("t0", "ld"),
+           Instruction(Op.ST, reg="t9", base="fp", offset=3),  # retire slot
+           Instruction(Op.LD, reg="t0", base="fp", offset=3),
+           Instruction(Op.LI, reg="t1", imm=1),
+           Instruction(Op.ADD, reg="t0", srcs=("t0", "t1")),
+           _call("t0", "ld")]
+    image = _image_of(seq)
+    _batched, report = coalesce_analysis_calls(image)
+    assert report.ranged_calls == 0

@@ -1,0 +1,140 @@
+"""Combined chaos: node crashes and network faults injected together.
+
+The crash-tolerance and lossy-network layers were each validated alone
+(test_crash_recovery.py, the net suite); this matrix drives them
+*simultaneously* across a seed sweep and asserts the composed guarantees:
+
+* with checkpoints, the race report stays byte-identical to the clean
+  run under any (crash_rate, loss_rate) cell of the sweep;
+* recovery traffic rides the reliable channel — the recovery protocol
+  must not bypass retransmission when the network is lossy;
+* without checkpoints, degradation stays sound: lost-metadata pairs
+  surface as explicit unverifiable entries, never silently vanish.
+"""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.dsm.cvm import CVM
+from repro.net.reliable import ReliableChannel
+
+MATRIX = [(0.02, 0.0), (0.0, 0.05), (0.02, 0.05), (0.01, 0.1)]
+SEEDS = [1, 2, 3]
+
+
+def _report_lines(result):
+    return sorted(str(r) for r in result.races)
+
+
+@pytest.fixture(scope="module")
+def tsp_free():
+    return get_app("tsp").run(nprocs=4)
+
+
+@pytest.mark.parametrize("crash_rate,loss_rate", MATRIX)
+def test_chaos_cell_reports_byte_identical(crash_rate, loss_rate, tsp_free):
+    for seed in SEEDS:
+        res = get_app("tsp").run(
+            nprocs=4, crash_rate=crash_rate, crash_seed=seed,
+            loss_rate=loss_rate, fault_seed=seed, checkpoint=True)
+        assert _report_lines(res) == _report_lines(tsp_free), (
+            f"report diverged at crash={crash_rate} loss={loss_rate} "
+            f"seed={seed}")
+        assert res.unverifiable == []
+
+
+def test_matrix_exercises_both_fault_kinds():
+    """The sweep must actually crash nodes AND drop datagrams somewhere —
+    the composed guarantee is vacuous otherwise."""
+    crashes = retransmits = 0
+    for crash_rate, loss_rate in MATRIX:
+        for seed in SEEDS:
+            res = get_app("tsp").run(
+                nprocs=4, crash_rate=crash_rate, crash_seed=seed,
+                loss_rate=loss_rate, fault_seed=seed, checkpoint=True)
+            crashes += res.crash_stats.crashes
+            retransmits += res.traffic.retransmits
+    assert crashes > 0
+    assert retransmits > 0
+
+
+def _run_with_send_spy(**config_overrides):
+    spec = get_app("tsp")
+    cfg = spec.config(nprocs=4, **config_overrides)
+    system = CVM(cfg)
+    assert isinstance(system.net, ReliableChannel)
+    tags = []
+    original_send = system.net.send
+
+    def spying_send(tag, *args, **kwargs):
+        tags.append(tag)
+        return original_send(tag, *args, **kwargs)
+
+    system.net.send = spying_send
+    result = system.run(spec.func, spec.default_params)
+    return result, tags
+
+
+def test_recovery_requests_ride_reliable_channel():
+    """With faults on, the master's recovery orders must go through the
+    reliable channel — a dropped order would strand the crashed node."""
+    result, tags = _run_with_send_spy(
+        crash_rate=0.02, crash_seed=2, loss_rate=0.05, fault_seed=2,
+        checkpoint=True)
+    assert result.crash_stats.crashes > 0
+    assert "recovery_request" in tags
+
+
+def test_recovery_pages_ride_reliable_channel():
+    """Checkpoint-less recovery refetches page copies from their
+    managers; those transfers must survive a lossy network too."""
+    result, tags = _run_with_send_spy(
+        crash_rate=0.02, crash_seed=2, loss_rate=0.05, fault_seed=2)
+    assert result.crash_stats.recoveries_without_checkpoint > 0
+    assert "recovery_request" in tags
+    assert "recovery_page" in tags
+
+
+def test_recovery_uses_bare_transport_without_faults():
+    """Faults off: the channel is the bare transport (byte-identity with
+    fault-free builds), recovery included."""
+    spec = get_app("tsp")
+    cfg = spec.config(nprocs=4, crash_rate=0.02, crash_seed=2,
+                      checkpoint=True)
+    system = CVM(cfg)
+    assert not isinstance(system.net, ReliableChannel)
+    assert system.net is system.transport
+
+
+def test_combined_chaos_without_checkpoints_degrades_soundly():
+    clean = get_app("water").run(nprocs=4)
+    res = get_app("water").run(nprocs=4, crash_rate=0.01, crash_seed=7,
+                               loss_rate=0.05, fault_seed=7)
+    cs, st = res.crash_stats, res.detector_stats
+    assert cs.crashes > 0
+    assert cs.intervals_lost > 0
+    assert res.unverifiable
+    assert st.unverifiable_pairs > 0
+    # Surviving races are a subset of the clean report; anything missing
+    # is covered by an unverifiable entry (soundness under double chaos).
+    assert set(_report_lines(res)) <= set(_report_lines(clean))
+    unverifiable_sides = {(e.a.pid, e.a.index) for e in res.unverifiable} \
+        | {(e.b.pid, e.b.index) for e in res.unverifiable}
+    found = {str(r) for r in res.races}
+    for race in clean.races:
+        if str(race) not in found:
+            sides = {(race.a.pid, race.a.index),
+                     (race.b.pid, race.b.index)}
+            assert sides & unverifiable_sides, (
+                f"race silently dropped under combined chaos: {race}")
+
+
+def test_combined_chaos_deterministic():
+    kwargs = dict(nprocs=4, crash_rate=0.02, crash_seed=5,
+                  loss_rate=0.05, fault_seed=5, checkpoint=True)
+    a = get_app("tsp").run(**kwargs)
+    b = get_app("tsp").run(**kwargs)
+    assert a.runtime_cycles == b.runtime_cycles
+    assert _report_lines(a) == _report_lines(b)
+    assert a.traffic.retransmits == b.traffic.retransmits
+    assert a.crash_stats.summary() == b.crash_stats.summary()

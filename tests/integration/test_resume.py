@@ -1,0 +1,101 @@
+"""Cross-run resume: ``--resume-from`` reproduces the uninterrupted run.
+
+A checkpointed run persists one snapshot per (node, barrier generation).
+A resumed run re-executes deterministically and, at the directory's
+common covered generation, *validates* that its recomputed state matches
+the stored snapshots byte for byte before reinstalling them — so a
+resume under a changed configuration fails loudly instead of silently
+diverging, and a successful resume's report is byte-identical to the
+original's.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.dsm.cvm import CVM
+from repro.errors import CheckpointError
+
+APP = "water"
+NPROCS = 4
+
+
+def _report_lines(result):
+    return sorted(str(r) for r in result.races)
+
+
+@pytest.fixture(scope="module")
+def checkpointed(tmp_path_factory):
+    d = str(tmp_path_factory.mktemp("ckpts"))
+    result = get_app(APP).run(nprocs=NPROCS, checkpoint_dir=d)
+    return d, result
+
+
+def test_resume_reproduces_report_byte_identically(checkpointed):
+    d, original = checkpointed
+    resumed = get_app(APP).run(nprocs=NPROCS, resume_from=d)
+    assert _report_lines(resumed) == _report_lines(original)
+    assert resumed.runtime_cycles == original.runtime_cycles
+    assert resumed.detector_stats == original.detector_stats
+    assert resumed.shared_instr_calls == original.shared_instr_calls
+
+
+def test_resume_installs_every_node(checkpointed):
+    d, _original = checkpointed
+    spec = get_app(APP)
+    cfg = spec.config(nprocs=NPROCS, resume_from=d)
+    system = CVM(cfg)
+    system.run(spec.func, spec.default_params)
+    assert system.resumed_nodes == NPROCS
+
+
+def test_resume_via_cli_flag(checkpointed, tmp_path):
+    d, original = checkpointed
+    from repro.cli import main
+    orig_path = tmp_path / "orig.txt"
+    res_path = tmp_path / "resumed.txt"
+    orig_path.write_text(
+        "".join(line + "\n" for line in _report_lines(original)))
+    rc = main(["run", APP, "--procs", str(NPROCS),
+               "--resume-from", d, "--report", str(res_path)])
+    assert rc == 0
+    assert res_path.read_text() == orig_path.read_text()
+
+
+def test_resume_with_wrong_nprocs_rejected(checkpointed):
+    d, _original = checkpointed
+    with pytest.raises(CheckpointError):
+        get_app(APP).run(nprocs=NPROCS * 2, resume_from=d)
+
+
+def test_resume_from_empty_directory_rejected(tmp_path):
+    empty = str(tmp_path / "nothing")
+    os.makedirs(empty)
+    with pytest.raises(CheckpointError):
+        get_app(APP).run(nprocs=NPROCS, resume_from=empty)
+
+
+def test_resume_with_diverging_config_rejected(checkpointed):
+    """A resumed run validates recomputed state against the snapshots;
+    a different scheduling seed diverges and must be caught, not
+    silently installed."""
+    d, _original = checkpointed
+    from repro.errors import ProcessFailure
+    with pytest.raises(ProcessFailure, match="diverged") as exc_info:
+        get_app(APP).run(nprocs=NPROCS, resume_from=d, seed=1,
+                         policy="random")
+    assert isinstance(exc_info.value.__cause__, CheckpointError)
+
+
+def test_resume_from_delta_directory(tmp_path):
+    """Delta-encoded checkpoint directories resume identically (the
+    chain replays into full snapshots first)."""
+    d = str(tmp_path / "delta")
+    spec = get_app(APP)
+    original = spec.run(nprocs=NPROCS, checkpoint_dir=d,
+                        checkpoint_delta=True)
+    resumed = spec.run(nprocs=NPROCS, resume_from=d,
+                       checkpoint_delta=True)
+    assert _report_lines(resumed) == _report_lines(original)
+    assert resumed.runtime_cycles == original.runtime_cycles
