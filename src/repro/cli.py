@@ -66,8 +66,22 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--crash-at", action="append", default=[],
                    metavar="PID:GEN",
                    help="crash process PID at its arrival to barrier "
-                        "generation GEN (repeatable; P0 is the master "
-                        "and cannot be targeted)")
+                        "generation GEN (repeatable; targeting P0, the "
+                        "initial master, requires --master-failover)")
+    p.add_argument("--master-failover", action="store_true",
+                   help="allow the barrier master (the coordinator running "
+                        "the race detector) to crash: the surviving "
+                        "processes elect the lowest live pid, migrate the "
+                        "journaled detection state to it, and re-solicit "
+                        "the in-flight epoch metadata; off (default), the "
+                        "master is pinned to P0 and immune to crashes, "
+                        "byte-identical to builds without the coordinator "
+                        "subsystem")
+    p.add_argument("--election-timeout", type=float, default=None,
+                   metavar="CYCLES",
+                   help="virtual-time silence past the last live arrival "
+                        "before the survivors hold the coordinator "
+                        "election (default: the crash-detection timeout)")
     p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                    help="take barrier-consistent per-node checkpoints and "
                         "persist them under DIR; a crashed node then "
@@ -95,8 +109,12 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
 def _fault_overrides(args) -> dict:
     """DsmConfig overrides carrying the CLI's fault- and crash-injection
     flags."""
-    from repro.sim.crash import parse_crash_at
+    from repro.sim.crash import DEFAULT_ELECTION_TIMEOUT, parse_crash_at
+    election = getattr(args, "election_timeout", None)
     return dict(loss_rate=args.loss_rate,
+                master_failover=getattr(args, "master_failover", False),
+                election_timeout=(election if election is not None
+                                  else DEFAULT_ELECTION_TIMEOUT),
                 duplicate_rate=args.duplicate_rate,
                 reorder_rate=args.reorder_rate,
                 fault_seed=args.fault_seed,
@@ -180,6 +198,13 @@ def cmd_run(args) -> int:
               f"{cs.checkpoint_bytes} bytes"
               + (f" -> {res.config.checkpoint_dir}"
                  if res.config.checkpoint_dir else ""))
+    if res.config.master_failover:
+        fo = res.failover_stats
+        print(f"  failover: {fo.elections_held} election(s), "
+              f"{fo.state_bytes_migrated} state bytes migrated, "
+              f"{fo.records_resolicited} record(s) re-solicited, "
+              f"{fo.state_checkpoints} journal write(s) "
+              f"({fo.state_checkpoint_bytes} bytes)")
     if res.unverifiable:
         print(f"\n{len(res.unverifiable)} unverifiable concurrent "
               f"pair entr(ies) — crash-lost metadata "

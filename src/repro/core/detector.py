@@ -22,8 +22,10 @@ decomposition falls out of the ledger.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.bitmap import Bitmap
 from repro.core.checklist import (CheckEntry, bitmaps_needed, build_check_list,
@@ -32,7 +34,8 @@ from repro.core.checklist import (CheckEntry, bitmaps_needed, build_check_list,
 from repro.core.concurrency import (PairSearchStats, find_concurrent_pairs,
                                     iter_window_pairs, model_comparison_count,
                                     scan_windows)
-from repro.core.report import IntervalRef, RaceKind, RaceReport
+from repro.core.report import (IntervalRef, RaceKind, RaceReport,
+                               decode_report_key, encode_report_key)
 from repro.dsm.interval import Interval
 from repro.errors import RetryExhaustedError
 from repro.net.message import WireSizer
@@ -101,6 +104,22 @@ class DetectorStats:
     unverifiable_reports: int = 0
     #: Per-epoch history, in check order (includes consolidation passes).
     epoch_history: List["EpochSummary"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; ``from_dict`` round-trips it exactly
+        (coordinator-state migration on master failover)."""
+        data = {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)
+                if f.name != "epoch_history"}
+        data["epoch_history"] = [dataclasses.asdict(s)
+                                 for s in self.epoch_history]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DetectorStats":
+        history = [EpochSummary(**entry) for entry in data["epoch_history"]]
+        scalars = {k: v for k, v in data.items() if k != "epoch_history"}
+        return cls(epoch_history=history, **scalars)
 
     @property
     def intervals_used_fraction(self) -> float:
@@ -278,6 +297,53 @@ class RaceDetector:
         self.races.extend(new_races)
         self.stats.races_found += len(new_races)
         return new_races
+
+    # ------------------------------------------------------------------ #
+    # State migration (master failover).
+    #
+    # Everything a replacement coordinator needs to continue detection
+    # with identical verdicts *and* identical artifacts: the accumulated
+    # reports, the aggregate statistics, and — critically — the cross-epoch
+    # deduplication state.  ``RaceReport.key()`` deliberately excludes the
+    # epoch, so dropping ``_seen_keys`` on migration would re-report or
+    # mis-deduplicate races found before the crash.
+    # ------------------------------------------------------------------ #
+    def serialize_state(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of all mutable detector state.
+
+        ``restore_state`` on a freshly constructed detector (same
+        configuration, possibly a different ``master_pid``) reproduces the
+        original byte for byte — the coordinator journals this dict at
+        every barrier and replays it into the elected successor."""
+        return {
+            "stats": self.stats.to_dict(),
+            "races": [r.to_dict() for r in self.races],
+            "unverifiable": [r.to_dict() for r in self.unverifiable],
+            "seen_keys": sorted(
+                (encode_report_key(k) for k in self._seen_keys),
+                key=json.dumps),
+            "unverifiable_pair_keys": sorted(
+                [list(a), list(b)]
+                for a, b in self._unverifiable_pair_keys),
+            "first_race_epoch": self._first_race_epoch,
+            "actual_comparisons": self.actual_comparisons,
+        }
+
+    def restore_state(self, data: Dict[str, Any]) -> None:
+        """Install a ``serialize_state`` snapshot, replacing all mutable
+        state.  Constructor-time configuration (cost model, sizer,
+        ``master_pid``, engine selection) is deliberately untouched: the
+        role's *owner* changed, not the algorithm."""
+        self.stats = DetectorStats.from_dict(data["stats"])
+        self.races = [RaceReport.from_dict(d) for d in data["races"]]
+        self.unverifiable = [RaceReport.from_dict(d)
+                             for d in data["unverifiable"]]
+        self._seen_keys = {decode_report_key(k) for k in data["seen_keys"]}
+        self._unverifiable_pair_keys = {
+            (tuple(a), tuple(b))
+            for a, b in data["unverifiable_pair_keys"]}
+        self._first_race_epoch = data["first_race_epoch"]
+        self.actual_comparisons = data["actual_comparisons"]
 
     # ------------------------------------------------------------------ #
     # Internals.

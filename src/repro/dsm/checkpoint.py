@@ -270,6 +270,12 @@ def encode_delta(prev: NodeSnapshot, snap: NodeSnapshot) -> DeltaSnapshot:
     for key in _DELTA_SCALAR_FIELDS:
         if nd[key] != pd[key]:
             set_fields[key] = nd[key]
+    # The coordinator section (master failover only) rides the delta chain
+    # like a scalar field.  The key is present in either every snapshot of
+    # a run or none (the failover flag is fixed at config time), so
+    # presence mismatches cannot occur within one chain.
+    if "coordinator" in nd and nd["coordinator"] != pd.get("coordinator"):
+        set_fields["coordinator"] = nd["coordinator"]
     prev_pages, new_pages = pd["pages"], nd["pages"]
     prev_hashes = {k: _content_hash(v) for k, v in prev_pages.items()}
     pages_set = {k: v for k, v in new_pages.items()
@@ -354,8 +360,16 @@ def load_checkpoint(path: str) -> WrittenCheckpoint:
 
 
 def snapshot_node(node: "Node", store: "IntervalStore",
-                  generation: int) -> NodeSnapshot:
-    """Capture one node's complete DSM state at a barrier cut."""
+                  generation: int,
+                  coordinator: Optional[Dict[str, Any]] = None
+                  ) -> NodeSnapshot:
+    """Capture one node's complete DSM state at a barrier cut.
+
+    ``coordinator`` is the per-node coordinator-role section
+    (:meth:`repro.dsm.coordinator.CoordinatorRole.snapshot_section`),
+    included only under master failover — without it the snapshot bytes
+    are identical to pre-failover builds, keeping old checkpoint
+    directories resumable and failover-off artifacts byte-identical."""
     pages: Dict[str, Any] = {}
     for page_id, copy in sorted(node.pages.items()):
         # Copy the word lists: the snapshot must freeze barrier-time page
@@ -383,6 +397,8 @@ def snapshot_node(node: "Node", store: "IntervalStore",
         "store_records": [interval_to_dict(records[idx])
                           for idx in sorted(records)],
     }
+    if coordinator is not None:
+        data["coordinator"] = coordinator
     return NodeSnapshot(data)
 
 
@@ -455,14 +471,18 @@ class CheckpointManager:
         self._history: Dict[int, Dict[int, NodeSnapshot]] = {}
 
     def take(self, node: "Node", store: "IntervalStore",
-             generation: int) -> WrittenCheckpoint:
+             generation: int,
+             coordinator: Optional[Dict[str, Any]] = None
+             ) -> WrittenCheckpoint:
         """Snapshot ``node`` at barrier ``generation``; retain the full
         snapshot as the node's latest checkpoint and persist the written
         form (full, or delta in delta mode) when a directory is set.
+        ``coordinator`` is the optional failover role section (see
+        :func:`snapshot_node`).
 
         Returns the object actually *written* — its ``nbytes`` is what the
         caller's virtual-time write charge and stats should price."""
-        snap = snapshot_node(node, store, generation)
+        snap = snapshot_node(node, store, generation, coordinator)
         prev = self._latest.get(node.pid)
         written: WrittenCheckpoint = snap
         if self.delta and prev is not None:

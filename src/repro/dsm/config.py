@@ -10,7 +10,7 @@ from repro.net.reliable import (DEFAULT_RETRY_BUDGET, DEFAULT_TIMEOUT_CYCLES)
 from repro.net.transport import DEFAULT_MAX_DATAGRAM
 from repro.sim.costmodel import CostModel
 from repro.sim.crash import (CrashPlan, DEFAULT_CRASH_DETECT_TIMEOUT,
-                             plan_from_options)
+                             DEFAULT_ELECTION_TIMEOUT, plan_from_options)
 
 #: DECstation Alphas used 8 KB pages; with 8-byte words that is 1024 words.
 DEFAULT_PAGE_SIZE_WORDS = 1024
@@ -89,8 +89,10 @@ class DsmConfig:
         crash_at: Scheduled crashes as ``(pid, barrier_generation)`` pairs
             (``--crash-at PID:GEN``): the node crashes at its arrival at
             that barrier generation regardless of ``crash_rate``.  The
-            barrier master (P0) cannot be scheduled — master failover is a
-            ROADMAP item.
+            barrier master (P0) can only be scheduled when
+            ``master_failover`` is on; otherwise it runs the detector and
+            the recovery protocol and targeting it is a configuration
+            error.
         crash_plan: Full crash plan; overrides the scalar options (which
             then only serve as CLI-level shorthand).
         crash_recovery: When True (default), a crashed node is recovered —
@@ -102,6 +104,19 @@ class DsmConfig:
         crash_detect_timeout: Extra virtual cycles the barrier master
             waits beyond the latest live arrival before declaring a
             missing node dead and starting recovery.
+        master_failover: Make the barrier master an elected, migratable
+            coordinator role (``--master-failover``): when the current
+            coordinator dies, the surviving nodes elect the lowest live
+            pid, migrate the detector's serialized state to it, and
+            re-solicit in-flight interval metadata — the run completes and
+            reports races instead of rejecting master crashes.  All
+            failover charges go to ``CostCategory.FAILOVER``, outside the
+            overhead breakdown; off (the default), the pinned-master
+            behaviour and every artifact are byte-identical to previous
+            builds.
+        election_timeout: Extra virtual cycles the surviving nodes wait
+            beyond the latest live arrival before electing a replacement
+            coordinator (``--election-timeout``; failover only).
         checkpoint: Take barrier-consistent in-memory checkpoints of every
             node (enables recovery with no lost metadata).
         checkpoint_dir: Directory to persist checkpoints to
@@ -151,6 +166,8 @@ class DsmConfig:
     crash_plan: Optional[CrashPlan] = None
     crash_recovery: bool = True
     crash_detect_timeout: float = DEFAULT_CRASH_DETECT_TIMEOUT
+    master_failover: bool = False
+    election_timeout: float = DEFAULT_ELECTION_TIMEOUT
     checkpoint: bool = False
     checkpoint_dir: Optional[str] = None
     checkpoint_delta: bool = False
@@ -183,17 +200,23 @@ class DsmConfig:
             raise ValueError(f"crash_rate must be in [0, 1): {self.crash_rate}")
         if self.crash_detect_timeout <= 0:
             raise ValueError("crash_detect_timeout must be positive")
+        if self.election_timeout <= 0:
+            raise ValueError("election_timeout must be positive")
         self.crash_at = tuple(sorted(set(
             (int(pid), int(gen)) for pid, gen in self.crash_at)))
         for pid, gen in self.crash_at:
             if not 0 <= pid < self.nprocs:
                 raise ValueError(
                     f"crash_at pid {pid} out of range for nprocs={self.nprocs}")
-            if pid == 0:
+            if pid == 0 and not self.master_failover:
                 raise ValueError(
                     "crash_at cannot target P0: the barrier master runs the "
-                    "detector and cannot crash (master failover is a ROADMAP "
-                    "item)")
+                    "detector and cannot crash unless master failover is "
+                    "enabled (--master-failover)")
+            if pid == 0 and self.nprocs < 2:
+                raise ValueError(
+                    "crash_at cannot target P0 with nprocs=1: no surviving "
+                    "process could be elected coordinator")
             if gen < 0:
                 raise ValueError(f"crash_at generation must be >= 0: {gen}")
 

@@ -29,6 +29,8 @@ from repro.core.report import RaceReport
 from repro.dsm.checkpoint import (CheckpointManager, restore_node,
                                   snapshot_node)
 from repro.dsm.config import DsmConfig
+from repro.dsm.coordinator import (CoordinatorRole, FailoverStats,
+                                   elect_coordinator)
 from repro.dsm.interval import Interval, intervals_unseen_by
 from repro.dsm.memory import SharedSegment
 from repro.dsm.node import IntervalStore, Node
@@ -82,6 +84,10 @@ class RunResult:
     #: word bitmaps (recovery without a checkpoint).  Kept apart from
     #: ``races`` so race artifacts stay comparable across runs.
     unverifiable: List[RaceReport] = field(default_factory=list)
+    #: Master-failover counters (elections held, detection-state bytes
+    #: migrated, interval records re-solicited); all zero with failover
+    #: off, and on any run whose coordinator never crashes.
+    failover_stats: FailoverStats = field(default_factory=FailoverStats)
 
     @property
     def runtime_seconds(self) -> float:
@@ -149,27 +155,32 @@ class CVM:
         self.nodes: List[Node] = []
         self.locks: Dict[int, LockState] = {}
         self.events: Dict[int, EventState] = {}
-        self.barrier_state = BarrierState(config.nprocs, master=0)
+        self.barrier_state = BarrierState(config.nprocs, master=0,
+                                          failover=config.master_failover)
         self.epoch = 0
         self.access_trace: List[TraceEvent] = []
-        self.detector: Optional[RaceDetector] = None
-        if config.detection:
-            self.detector = RaceDetector(
-                config.page_size_words, config.cost_model, self.sizer,
-                self.net, self.segment.symbol_for, master_pid=0,
-                first_races_only=config.first_races_only,
-                fast_path=config.detector_fast_path)
+        # The barrier-master responsibilities — barrier release, interval
+        # collection, the detector instance — are owned by the coordinator
+        # role, initially held by P0 as in the paper.  With failover off
+        # the role never moves and every ``role.pid`` comparison below is
+        # the old ``pid == 0`` check; with ``--master-failover`` the role
+        # migrates to the lowest live pid when its holder crashes.
+        self.coordinator = CoordinatorRole(
+            config.nprocs, failover=config.master_failover,
+            detector=self._make_detector(0),
+            detector_factory=self._make_detector,
+            initial_pid=0)
         # Crash tolerance.  With no crash plan — the default — the
         # injector is None, every hook below is a cheap no-op, and all
         # artifacts are byte-identical to a build without this layer.
         cplan = config.effective_crash_plan()
-        if cplan is not None:
+        if cplan is not None and not config.master_failover:
             for cpid, _gen in cplan.at:
-                if cpid == self.barrier_state.master:
+                if cpid == self.coordinator.pid:
                     raise ValueError(
                         "crash_at cannot target the barrier master "
-                        f"(P{self.barrier_state.master}); master failover "
-                        "is a ROADMAP item")
+                        f"(P{self.coordinator.pid}); enable master "
+                        "failover with --master-failover")
         self._crasher = CrashInjector(cplan) if cplan is not None else None
         self.crash_stats = CrashStats()
         self.checkpoints: Optional[CheckpointManager] = None
@@ -208,6 +219,25 @@ class CVM:
         self.pc_watch: Optional[Dict[int, List[Tuple]]] = None
         self._ran = False
 
+    def _make_detector(self, master_pid: int) -> Optional[RaceDetector]:
+        """Detector factory for the coordinator role: the initial instance
+        at construction, and replacement instances (re-homed on the
+        election winner) during failover.  ``None`` with detection off."""
+        config = self.config
+        if not config.detection:
+            return None
+        return RaceDetector(
+            config.page_size_words, config.cost_model, self.sizer,
+            self.net, self.segment.symbol_for, master_pid=master_pid,
+            first_races_only=config.first_races_only,
+            fast_path=config.detector_fast_path)
+
+    @property
+    def detector(self) -> Optional[RaceDetector]:
+        """The race detector, owned by the coordinator role (it migrates
+        with the role on failover)."""
+        return self.coordinator.detector
+
     # ------------------------------------------------------------------ #
     # Running applications.
     # ------------------------------------------------------------------ #
@@ -221,6 +251,13 @@ class CVM:
         for pid in range(self.config.nprocs):
             proc = self.scheduler.spawn(self._proc_main, app, pid, args)
             self.nodes.append(Node(pid, self.config, proc.clock, self.store))
+        if self.coordinator.failover:
+            # Initial role journal (the analogue of the generation-0 node
+            # checkpoints): a coordinator death before the first barrier
+            # migrates the pre-application detector state.
+            self.coordinator.journal_state(
+                self.nodes[self.coordinator.pid].clock,
+                self.config.cost_model)
         if self._resume_mgr is not None and self._resume_gen == 0:
             # Resuming at the pre-application cut: install before the
             # generation-0 checkpoints re-record the (identical) state.
@@ -263,6 +300,7 @@ class CVM:
             crash_stats=self.crash_stats,
             unverifiable=(list(self.detector.unverifiable)
                           if self.detector else []),
+            failover_stats=self.coordinator.stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -290,6 +328,7 @@ class CVM:
             return
         node = self.nodes[pid]
         if node.crashed is not None:
+            self.crash_stats.pending_crash_skips += 1
             return
         doomed = (generation is not None
                   and self._crasher.scheduled_at(pid, generation))
@@ -297,10 +336,12 @@ class CVM:
             doomed = self._crasher.decide(pid, kind)
         if not doomed:
             return
-        if pid == self.barrier_state.master:
-            # The master runs the detector and the recovery protocol;
-            # rate-derived hits on it are suppressed (and counted) until
-            # master failover lands (ROADMAP).
+        role = self.coordinator
+        if pid == role.pid and (not role.failover or self.config.nprocs < 2):
+            # Without failover the coordinator runs the detector and the
+            # recovery protocol and cannot crash; with nprocs=1 there is
+            # no possible successor either way.  Count the suppression so
+            # rate sweeps can report how often immunity mattered.
             self.crash_stats.master_crashes_suppressed += 1
             return
         self._crash_node(node, kind)
@@ -379,7 +420,8 @@ class CVM:
         then actually installed, so the remainder of the run exercises the
         restore path end to end."""
         snap = self._resume_mgr.at_generation(node.pid, self._resume_gen)
-        current = snapshot_node(node, self.store, self._resume_gen)
+        current = snapshot_node(node, self.store, self._resume_gen,
+                                coordinator=self._coordinator_section(node.pid))
         if current != snap:
             raise CheckpointError(
                 f"resume state diverged for P{node.pid} at generation "
@@ -389,8 +431,18 @@ class CVM:
         restore_node(snap, node, self.store)
         self.resumed_nodes += 1
 
+    def _coordinator_section(self, pid: int) -> Optional[Dict[str, Any]]:
+        """Coordinator section for ``pid``'s snapshot: present only under
+        failover (so failover-off checkpoints stay byte-identical to
+        builds without the coordinator subsystem)."""
+        if not self.coordinator.failover:
+            return None
+        return self.coordinator.snapshot_section(pid)
+
     def _take_checkpoint(self, node: Node, generation: int) -> None:
-        snap = self.checkpoints.take(node, self.store, generation)
+        snap = self.checkpoints.take(
+            node, self.store, generation,
+            coordinator=self._coordinator_section(node.pid))
         node.clock.advance(
             self.config.cost_model.checkpoint_write_per_byte * snap.nbytes,
             CostCategory.RECOVERY)
@@ -637,6 +689,10 @@ class CVM:
             arrival_now = msg.arrival_time
         else:
             arrival_now = node.clock.now
+        if bar.failover:
+            # The closing horizon is what a new coordinator would have to
+            # re-solicit from this process if the master dies this epoch.
+            bar.horizons[pid] = horizon
         last = bar.arrive(pid, arrival_now)
         if not last:
             self.scheduler.block(pid, f"barrier gen {bar.generation}")
@@ -648,17 +704,25 @@ class CVM:
         self._barrier_depart(pid)
 
     def _barrier_master_work(self) -> None:
-        """Runs in the last arriver's thread but on the *master's* virtual
-        clock — detection overhead is serialized at the master (§6.2)."""
+        """Runs in the last arriver's thread but on the *coordinator's*
+        virtual clock — detection overhead is serialized at the master
+        (§6.2).  If the coordinator itself is among this epoch's crashed
+        nodes and failover is enabled, the survivors first elect a
+        replacement and migrate the detection state to it; the analysis
+        then proceeds on the new coordinator's clock."""
         bar = self.barrier_state
+        role = self.coordinator
+        if (role.failover and self.config.nprocs > 1
+                and self.nodes[role.pid].crashed is not None):
+            self._coordinator_failover(bar)
         master_node = self.nodes[bar.master]
         master_clock = master_node.clock
         if self._crasher is not None:
             self._declare_deaths(bar, master_clock)
         master_clock.wait_until(max(bar.arrival_times.values()))
-        if self.detector is not None:
-            epoch_recs = self.store.epoch_intervals(self.epoch)
-            self.detector.run_epoch(epoch_recs, self.epoch, master_clock)
+        if role.detector is not None:
+            epoch_recs = role.collect_epoch(self.store, self.epoch)
+            role.run_detection(epoch_recs, self.epoch, master_clock)
         # Release payloads: one per process, carrying what it is missing.
         # The write notices are applied (invalidating stale copies) here,
         # *before* the checked epoch's records are discarded below; the
@@ -679,6 +743,11 @@ class CVM:
             for rec in recs:
                 self.protocol.apply_write_notice(self.nodes[other], rec)
             bar.release_box[other] = (release_vc, msg.arrival_time)
+        if role.failover:
+            # Journal the role state after every completed detection pass:
+            # a coordinator death next epoch restores from here, so the
+            # journal is never staler than the last barrier-consistent cut.
+            role.journal_state(master_clock, self.config.cost_model)
         # The epoch is fully checked: discard its trace information
         # (bitmaps, notices).  Also sweep the previous epoch's stragglers
         # (the empty arrival intervals closed at departure).
@@ -687,6 +756,85 @@ class CVM:
             self.store.discard_epoch(self.epoch - 1)
         self.epoch += 1
         bar.reset_for_next_generation()
+
+    def _coordinator_failover(self, bar: BarrierState) -> None:
+        """Election plus detection-state migration, run before the barrier
+        analysis when the coordinator is among this epoch's crashed nodes.
+
+        Protocol (all charges and traffic under ``CostCategory.FAILOVER``,
+        which stays out of the overhead breakdown):
+
+        1. The survivors time out on the coordinator's silence past the
+           last live arrival (``election_timeout``, overlapping — not
+           stacking with — the death-declaration timeout) and hold the
+           deterministic rank election: lowest live pid wins.
+        2. Each survivor sends its vote to the winner; the winner announces
+           the outcome to the rest.
+        3. The winner fetches the coordinator-state journal from stable
+           storage, pays the restore cost, and rebuilds the detector from
+           it (:meth:`CoordinatorRole.install_from_journal`); the barrier
+           master is reassigned so release and death-declaration run here.
+        4. The closing epoch's in-flight interval/write-notice metadata is
+           re-solicited from every process's recorded arrival horizon —
+           the same payloads the old master absorbed on the arrival
+           messages — so the new coordinator's clock dominates every
+           arrival before ``release_vc`` is computed.  The records
+           themselves live in the global store (they are regenerated
+           deterministically by recovery re-execution), which is why the
+           crash-free race reports come out byte-identical.
+        """
+        role = self.coordinator
+        cm = self.config.cost_model
+        old = role.pid
+        live = [p for p in range(self.config.nprocs)
+                if self.nodes[p].crashed is None]
+        winner = elect_coordinator(old, live, self.config.nprocs)
+        new_node = self.nodes[winner]
+        clock = new_node.clock
+        live_arrivals = [t for p, t in bar.arrival_times.items()
+                         if self.nodes[p].crashed is None]
+        start = max(live_arrivals) if live_arrivals else clock.now
+        clock.wait_until(start + self.config.election_timeout)
+        for p in sorted(bar.arrival_times):
+            if p == winner or self.nodes[p].crashed is not None:
+                continue
+            msg = self.net.send("election_vote", p, winner, None,
+                                self.sizer.ints(3), clock,
+                                category=CostCategory.FAILOVER)
+            clock.wait_until(msg.arrival_time)
+        for p in sorted(bar.arrival_times):
+            if p == winner or p == old or self.nodes[p].crashed is not None:
+                continue
+            self.net.send("coordinator_announce", winner, p, None,
+                          self.sizer.ints(2), clock,
+                          category=CostCategory.FAILOVER)
+        journal = role.journal_json
+        if journal is None:
+            journal = role.state_json()
+        jbytes = len(journal.encode("utf-8"))
+        msg = self.net.send("coordinator_state", old, winner, None,
+                            self.sizer.ints(2) + jbytes, clock,
+                            category=CostCategory.FAILOVER,
+                            fragmentable=True)
+        clock.wait_until(msg.arrival_time)
+        clock.advance(cm.checkpoint_restore_per_byte * jbytes,
+                      CostCategory.FAILOVER)
+        role.install_from_journal(winner)
+        bar.reassign_master(winner)
+        for p in sorted(bar.horizons):
+            if p == winner:
+                continue
+            horizon = bar.horizons[p]
+            recs, body, _ = self._consistency_payload(new_node.vc, horizon)
+            self.net.send("resolicit_request", winner, p, None,
+                          self.sizer.ints(2), clock,
+                          category=CostCategory.FAILOVER)
+            msg = self.net.send("resolicit_reply", p, winner, None, body,
+                                clock, category=CostCategory.FAILOVER,
+                                fragmentable=True)
+            clock.wait_until(msg.arrival_time)
+            self._apply_consistency(new_node, recs, horizon)
+            role.stats.records_resolicited += len(recs)
 
     def _declare_deaths(self, bar: BarrierState, master_clock) -> None:
         """Master-side half of the recovery protocol, run before the

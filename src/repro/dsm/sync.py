@@ -80,17 +80,32 @@ class BarrierState:
 
     Arrival order, per-arrival clock times and the master's release payload
     are recorded per *generation* so the barrier can be reused any number of
-    times.  The master role is pinned to process 0, as in the paper (the
-    barrier master runs the race-detection analysis); whichever process
-    arrives last executes the master's work on process 0's virtual clock.
+    times.  By default the master role is pinned to process 0, as in the
+    paper (the barrier master runs the race-detection analysis); whichever
+    process arrives last executes the master's work on the master's virtual
+    clock.  With ``failover`` enabled the master is an elected *coordinator
+    role* owned by :mod:`repro.dsm.coordinator`: ``master`` then varies by
+    generation (it is reassigned to the lowest live pid when the current
+    coordinator dies) and arrival consistency horizons are retained so a
+    newly elected coordinator can re-solicit what the dead one knew.
     """
 
-    def __init__(self, nprocs: int, master: int = 0):
+    def __init__(self, nprocs: int, master: int = 0,
+                 failover: bool = False):
         self.nprocs = nprocs
         self.master = master
+        #: Whether the master is an elected, migratable role (see
+        #: ``repro.dsm.coordinator``).  Off: the master is pinned and
+        #: cannot be declared dead, exactly the legacy behaviour.
+        self.failover = failover
         self.generation = 0
         self.arrived: List[int] = []
         self.arrival_times: Dict[int, float] = {}
+        #: Per-arrival consistency horizons (the vector clock each process
+        #: closed its epoch with), recorded only under failover: the
+        #: election's state re-solicitation replays them to the new
+        #: coordinator.  Cleared at every reset.
+        self.horizons: Dict[int, VectorClock] = {}
         #: Release-time info stored for each departing process:
         #: (global vc snapshot, receiver-side arrival time of release msg).
         self.release_box: Dict[int, Tuple[VectorClock, float]] = {}
@@ -115,17 +130,35 @@ class BarrierState:
     def declare_dead(self, pid: int) -> None:
         """Record that the master's virtual-time timeout expired for
         ``pid`` this generation (the node missed the barrier and recovery
-        was initiated)."""
-        if pid == self.master:
+        was initiated).  The *current* master can only be declared dead
+        under failover — the election re-homes the role first, so by the
+        time the old master is declared dead ``self.master`` already names
+        its successor."""
+        if pid == self.master and not self.failover:
             raise SynchronizationError(
                 "the barrier master cannot be declared dead "
-                "(master failover is unsupported; see ROADMAP)")
+                "(enable master failover with --master-failover "
+                "/ DsmConfig.master_failover)")
         self.dead_this_generation.add(pid)
         self.deaths_declared += 1
+
+    def reassign_master(self, pid: int) -> None:
+        """Move the master role to ``pid`` (election outcome).  Only legal
+        under failover; the pinned-master configuration never migrates."""
+        if not self.failover:
+            raise SynchronizationError(
+                "the barrier master is pinned (enable master failover "
+                "with --master-failover / DsmConfig.master_failover)")
+        if not 0 <= pid < self.nprocs:
+            raise SynchronizationError(
+                f"cannot elect P{pid} as barrier master "
+                f"(nprocs={self.nprocs})")
+        self.master = pid
 
     def reset_for_next_generation(self) -> None:
         self.generation += 1
         self.barriers_completed += 1
         self.arrived.clear()
         self.arrival_times.clear()
+        self.horizons.clear()
         self.dead_this_generation.clear()

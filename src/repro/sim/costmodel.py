@@ -60,6 +60,14 @@ class CostCategory(enum.Enum):
     #: crashes and checkpointing disabled (the default) every regenerated
     #: table and figure stays byte-identical.
     RECOVERY = "recovery"
+    #: Master failover: coordinator-state journaling at barriers, the
+    #: election round after the coordinator dies, detection-state migration
+    #: to the new coordinator and the re-solicitation of in-flight interval
+    #: metadata from survivors (:mod:`repro.dsm.coordinator`).  Like
+    #: RETRANSMIT and RECOVERY it lies outside the paper's taxonomy and
+    #: outside :data:`OVERHEAD_CATEGORIES`, so with failover disabled (the
+    #: default) every regenerated table and figure stays byte-identical.
+    FAILOVER = "failover"
 
     @property
     def is_overhead(self) -> bool:
@@ -67,9 +75,9 @@ class CostCategory(enum.Enum):
 
 
 #: Categories whose charges are race-detection overhead, in Figure 3 order.
-#: RETRANSMIT and RECOVERY are excluded: they are robustness overhead
-#: (network and node layer respectively) outside the paper's taxonomy,
-#: reported separately (see docs/robustness.md).
+#: RETRANSMIT, RECOVERY and FAILOVER are excluded: they are robustness
+#: overhead (network, node and coordinator layer respectively) outside the
+#: paper's taxonomy, reported separately (see docs/robustness.md).
 OVERHEAD_CATEGORIES = (
     CostCategory.CVM_MODS,
     CostCategory.PROC_CALL,

@@ -24,10 +24,16 @@ die with observable consequences for the DSM and the detector):
 * ``"barrier"`` — a barrier arrival (the node dies at the epoch boundary,
   before its notices reach the master).
 
-The barrier *master* (process 0) is never killed: it runs the detection
-analysis and the recovery protocol, and master failover is an explicit
-ROADMAP follow-on.  Rate-derived master crashes are suppressed (and
-counted); an explicit ``--crash-at 0:g`` is a configuration error.
+Whether the barrier *master* can be killed depends on the failover switch
+(:mod:`repro.dsm.coordinator`).  With ``master_failover`` off — the default
+— the master runs the detection analysis and the recovery protocol, so
+rate-derived hits on it are suppressed and counted
+(``CrashStats.master_crashes_suppressed``) and an explicit ``--crash-at
+0:g`` is a configuration error.  With ``--master-failover`` on, the
+coordinator is an elected, migratable role: the master is crashable like
+any other node, the immunity counter stays at zero, and only real
+scheduling skips (a node whose crash is still pending recovery,
+``CrashStats.pending_crash_skips``) are suppressed.
 """
 
 from __future__ import annotations
@@ -42,6 +48,13 @@ from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 #: default cost model): long enough that a merely-slow message is not
 #: mistaken for a death on a fault-free network.
 DEFAULT_CRASH_DETECT_TIMEOUT = 36_000.0
+
+#: Survivor-side virtual-time timeout of the coordinator election: how
+#: long past the last live barrier arrival the surviving nodes wait for
+#: the (dead) coordinator's release before electing a replacement.  Same
+#: rationale and default as the death-declaration timeout above — the two
+#: overlap rather than stack (``wait_until`` is monotonic).
+DEFAULT_ELECTION_TIMEOUT = DEFAULT_CRASH_DETECT_TIMEOUT
 
 #: Event kinds the injector evaluates, in documentation order.
 EVENT_KINDS = ("access", "send", "barrier")
@@ -166,9 +179,15 @@ class CrashStats:
     recoveries_without_checkpoint: int = 0
     #: Interval records whose bitmaps died with a node (checkpointing off).
     intervals_lost: int = 0
-    #: Rate-derived crashes of the barrier master, suppressed because the
-    #: master runs the recovery protocol (failover is a ROADMAP item).
+    #: Rate-derived crashes of the barrier master, suppressed because with
+    #: ``master_failover`` off the master runs the recovery protocol and
+    #: must survive.  Stays at zero once failover makes the master
+    #: crashable (the coordinator is then an elected, migratable role).
     master_crashes_suppressed: int = 0
+    #: Crash opportunities skipped because the node already carries a
+    #: pending, not-yet-recovered crash this epoch — a scheduling skip of
+    #: the one-crash-per-epoch rule, distinct from master immunity.
+    pending_crash_skips: int = 0
     #: Deaths the barrier master declared after its virtual-time timeout.
     deaths_declared: int = 0
     #: Checkpoints written (one per node per barrier when enabled).
@@ -189,6 +208,8 @@ class CrashStats:
         """Flat summary used in logs and tests."""
         return {
             "crashes": self.crashes,
+            "master_crashes_suppressed": self.master_crashes_suppressed,
+            "pending_crash_skips": self.pending_crash_skips,
             "recoveries_from_checkpoint": self.recoveries_from_checkpoint,
             "recoveries_without_checkpoint": self.recoveries_without_checkpoint,
             "intervals_lost": self.intervals_lost,

@@ -138,3 +138,39 @@ def test_combined_chaos_deterministic():
     assert _report_lines(a) == _report_lines(b)
     assert a.traffic.retransmits == b.traffic.retransmits
     assert a.crash_stats.summary() == b.crash_stats.summary()
+
+
+# ---------------------------------------------------------------------- #
+# Master crashes join the matrix: with failover enabled the coordinator
+# is just another mortal process, and the composed guarantees must hold
+# through an election + detection-state migration.
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("crash_rate,loss_rate", MATRIX)
+def test_chaos_cell_with_master_failover_byte_identical(crash_rate,
+                                                        loss_rate,
+                                                        tsp_free):
+    for seed in SEEDS:
+        res = get_app("tsp").run(
+            nprocs=4, crash_rate=crash_rate, crash_seed=seed,
+            loss_rate=loss_rate, fault_seed=seed, checkpoint=True,
+            master_failover=True)
+        assert _report_lines(res) == _report_lines(tsp_free), (
+            f"report diverged at crash={crash_rate} loss={loss_rate} "
+            f"seed={seed} with master failover")
+        assert res.unverifiable == []
+        # Immunity is lifted: nothing on the master is ever suppressed.
+        assert res.crash_stats.master_crashes_suppressed == 0
+
+
+def test_failover_messages_ride_reliable_channel():
+    """Election votes, the journal transfer and the re-solicitation round
+    all go through the reliable channel — a dropped election message
+    would strand the whole barrier."""
+    result, tags = _run_with_send_spy(
+        crash_at=((0, 1),), master_failover=True,
+        loss_rate=0.05, fault_seed=2, checkpoint=True)
+    assert result.failover_stats.elections_held == 1
+    for tag in ("election_vote", "coordinator_announce",
+                "coordinator_state", "resolicit_request",
+                "resolicit_reply"):
+        assert tag in tags, f"missing failover message {tag!r}"
