@@ -82,6 +82,18 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
                    help="virtual-time silence past the last live arrival "
                         "before the survivors hold the coordinator "
                         "election (default: the crash-detection timeout)")
+    p.add_argument("--sharded-detection", action="store_true",
+                   help="distribute each epoch's pair search across the "
+                        "live processes: shard owners run the pruned "
+                        "search for their interval-pair blocks on their "
+                        "own clocks and the reports tree-reduce back to "
+                        "the coordinator — byte-identical races, smaller "
+                        "serialized detection share at the coordinator "
+                        "(see docs/performance.md)")
+    p.add_argument("--detection-shards", type=int, default=0, metavar="N",
+                   help="cap the number of shard owners per epoch "
+                        "(requires --sharded-detection; 0 = every live "
+                        "process, 1 = coordinator-local)")
     p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                    help="take barrier-consistent per-node checkpoints and "
                         "persist them under DIR; a crashed node then "
@@ -122,6 +134,8 @@ def _fault_overrides(args) -> dict:
                 crash_rate=args.crash_rate,
                 crash_seed=args.crash_seed,
                 crash_at=parse_crash_at(args.crash_at),
+                sharded_detection=getattr(args, "sharded_detection", False),
+                detection_shards=getattr(args, "detection_shards", 0),
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_delta=getattr(args, "checkpoint_delta", False),
                 resume_from=getattr(args, "resume_from", None),
@@ -198,6 +212,16 @@ def cmd_run(args) -> int:
               f"{cs.checkpoint_bytes} bytes"
               + (f" -> {res.config.checkpoint_dir}"
                  if res.config.checkpoint_dir else ""))
+    if res.config.sharded_detection:
+        sh = res.sharding_stats
+        print(f"  sharding: {sh.epochs_sharded}/"
+              f"{sh.epochs_sharded + sh.epochs_centralized} epoch(s) "
+              f"sharded, {sh.shards_dispatched} shard(s), "
+              f"{sh.records_shipped} record(s) shipped, "
+              f"{sh.bytes_scattered + sh.bytes_reduced + sh.bitmap_fetch_bytes} "
+              f"protocol bytes, "
+              f"{sh.fallbacks_owner_crash + sh.fallbacks_network} "
+              f"fallback(s)")
     if res.config.master_failover:
         fo = res.failover_stats
         print(f"  failover: {fo.elections_held} election(s), "

@@ -31,9 +31,10 @@ from repro.core.bitmap import Bitmap
 from repro.core.checklist import (CheckEntry, bitmaps_needed, build_check_list,
                                   build_check_list_fast, index_meetings,
                                   overlap_work, page_overlaps)
-from repro.core.concurrency import (PairSearchStats, find_concurrent_pairs,
-                                    iter_window_pairs, model_comparison_count,
-                                    scan_windows)
+from repro.core.concurrency import (PairSearchStats, _first_after,
+                                    _first_not_before, find_concurrent_pairs,
+                                    group_by_pid, iter_window_pairs,
+                                    model_comparison_count, scan_windows)
 from repro.core.report import (IntervalRef, RaceKind, RaceReport,
                                decode_report_key, encode_report_key)
 from repro.dsm.interval import Interval
@@ -136,6 +137,94 @@ class DetectorStats:
         if self.bitmaps_created == 0:
             return 0.0
         return self.bitmaps_fetched / self.bitmaps_created
+
+
+# ---------------------------------------------------------------------- #
+# Sharded execution (``--sharded-detection``): the epoch's cross-process
+# pair blocks are partitioned over owner pids, each owner runs the pruned
+# pair search + bitmap comparison for its blocks on its own clock, and the
+# dedup-free candidate reports tree-reduce back to the coordinator, which
+# commits them through the *same* cross-epoch dedup state ``run_epoch``
+# uses — the emitted reports are byte-identical by construction.  The
+# orchestration (scatter, fetches, reduce, crash fallback) lives in
+# :mod:`repro.dsm.cvm`; everything here is pure detection logic.
+# ---------------------------------------------------------------------- #
+@dataclass
+class DetectShard:
+    """One owner's slice of an epoch: a set of process-pair blocks."""
+
+    owner: int
+    #: Assigned (p, q) blocks, p < q, in canonical block order.
+    blocks: List[Tuple[int, int]] = field(default_factory=list)
+    #: Naive comparison count of the assigned blocks (sum of
+    #: ``|I_p| * |I_q|``) — the shard's INTERVALS charge and the
+    #: load-balancing weight.
+    model_comparisons: int = 0
+
+
+@dataclass
+class ShardPlan:
+    """Partition of one epoch's pair search over shard owners.
+
+    Blocks partition the cross-process pairs exactly, so per-shard
+    aggregates (model comparisons, concurrent pairs, probe work, check
+    entries, bitmap comparisons) sum to the centralized figures, and the
+    per-shard candidate streams merge — by canonical entry key — into the
+    centralized processing order.
+    """
+
+    #: Owner pids, coordinator first (the reduce root).
+    owners: List[int]
+    by_pid: Dict[int, List[Interval]]
+    shards: Dict[int, DetectShard]
+    intervals: List[Interval]
+    #: Sum of all block weights == ``model_comparison_count(intervals)``.
+    model_comparisons: int
+    lost_present: bool
+
+
+@dataclass
+class ShardItem:
+    """One check entry's dedup-free candidate reports.
+
+    ``key`` is the canonical check-entry key ``(a.pid, b.pid, a.index,
+    b.index)`` — unique across shards (an entry belongs to exactly one
+    block) — so a plain sorted merge of per-shard item lists reproduces
+    the centralized check-list order, and the commit step can replay the
+    cross-epoch dedup exactly as ``run_epoch`` would have.
+    """
+
+    key: Tuple[int, int, int, int]
+    #: "race" or "unverifiable" (crash-lost side).
+    kind: str
+    #: Candidate reports in centralized generation order, *not* deduped —
+    #: dedup against ``_seen_keys`` is the coordinator's commit step.
+    reports: List[RaceReport]
+    #: Unverifiable-pair dedup key (``kind == "unverifiable"`` only).
+    pair_key: Optional[Tuple] = None
+
+
+@dataclass
+class ShardResult:
+    """One shard's computation: candidate items plus additive counters."""
+
+    owner: int
+    #: Modeled (naive) comparisons of the assigned blocks.
+    comparisons: int = 0
+    #: Bisection probes the pruned search actually performed.
+    probes: int = 0
+    concurrent_pairs: int = 0
+    check_entries: int = 0
+    bitmap_comparisons: int = 0
+    #: (pid, index) of intervals in >= 1 overlapping pair of this shard.
+    used: Set[Tuple[int, int]] = field(default_factory=set)
+    #: Bitmaps the shard's check entries name (global-set union at commit).
+    needed: Set[Tuple[int, int, int, str]] = field(default_factory=set)
+    #: Message/byte counts of the shard-local bitmap fetches.
+    fetch_messages: int = 0
+    fetch_bytes: int = 0
+    #: Candidate items in canonical entry-key order.
+    items: List[ShardItem] = field(default_factory=list)
 
 
 class RaceDetector:
@@ -344,6 +433,343 @@ class RaceDetector:
             for a, b in data["unverifiable_pair_keys"]}
         self._first_race_epoch = data["first_race_epoch"]
         self.actual_comparisons = data["actual_comparisons"]
+
+    # ------------------------------------------------------------------ #
+    # Sharded execution primitives (see the module-level note above the
+    # shard dataclasses).  ``plan_shards`` -> per-owner ``compute_shard``
+    # -> pairwise ``merge_shard_items`` -> ``commit_sharded`` on the
+    # coordinator reproduces ``run_epoch``'s reports and statistics
+    # byte-identically; the cvm layer drives the phases and prices the
+    # distribution traffic.
+    # ------------------------------------------------------------------ #
+    def plan_shards(self, intervals: List[Interval],
+                    owners: List[int]) -> Optional[ShardPlan]:
+        """Partition the epoch's pair blocks over ``owners`` (coordinator
+        first).  Returns None when sharding cannot help — fewer than two
+        owners, or no cross-process blocks — in which case the caller runs
+        the centralized engine for this epoch.
+
+        Assignment is greedy weight-balanced over the block weights
+        ``|I_p| * |I_q|``, restricted to owners that are an endpoint of
+        the block (they already hold half the records locally); blocks
+        with no live endpoint owner land on the coordinator, which holds
+        every record.  Deterministic: blocks are visited in canonical
+        order and ties break by owner rank.
+        """
+        if len(owners) < 2:
+            return None
+        by_pid = group_by_pid(intervals)
+        pids = sorted(by_pid)
+        if len(pids) < 2:
+            return None
+        owner_rank = {pid: rank for rank, pid in enumerate(owners)}
+        load: Dict[int, int] = {pid: 0 for pid in owners}
+        shards = {pid: DetectShard(owner=pid) for pid in owners}
+        total = 0
+        for i, p in enumerate(pids):
+            for q in pids[i + 1:]:
+                weight = len(by_pid[p]) * len(by_pid[q])
+                total += weight
+                candidates = [x for x in (p, q) if x in owner_rank]
+                if candidates:
+                    owner = min(candidates,
+                                key=lambda x: (load[x], owner_rank[x]))
+                else:
+                    owner = owners[0]
+                shards[owner].blocks.append((p, q))
+                shards[owner].model_comparisons += weight
+                load[owner] += weight
+        return ShardPlan(owners=list(owners), by_pid=by_pid, shards=shards,
+                         intervals=list(intervals), model_comparisons=total,
+                         lost_present=any(rec.lost for rec in intervals))
+
+    def compute_shard(self, shard: DetectShard, plan: ShardPlan,
+                      epoch: int, clock: VirtualClock) -> ShardResult:
+        """Run the pruned pair search + bitmap comparison for one shard's
+        blocks on the owner's ``clock``.
+
+        Charges mirror the centralized engine exactly — the naive
+        comparison model under INTERVALS, overlap probes under INTERVALS,
+        one BITMAPS charge per bitmap comparison — they just land on the
+        owner's ledger.  Bitmaps the shard names but the owner does not
+        hold are fetched with the same byte formulas as the centralized
+        bitmap round, priced under SHARDED_DETECT;
+        :class:`repro.errors.RetryExhaustedError` propagates so the
+        caller can fall back to centralized detection for the epoch.
+
+        Mutates **no** detector state: every counter lives in the
+        returned :class:`ShardResult`, so an abandoned sharded pass (crash
+        or network fallback) leaves the detector exactly as it was.
+        """
+        res = ShardResult(owner=shard.owner,
+                          comparisons=shard.model_comparisons)
+        if not shard.blocks:
+            return res
+        search = PairSearchStats()
+        windows = []
+        probe_work = 0
+        for p, q in shard.blocks:
+            qs = plan.by_pid[q]
+            pre = [0]
+            for rec in qs:
+                pre.append(pre[-1] + len(rec.write_pages)
+                           + len(rec.read_pages))
+            for a in plan.by_pid[p]:
+                lo = _first_not_before(a, qs, search)
+                hi = _first_after(a, qs, search)
+                if hi > lo:
+                    width = hi - lo
+                    res.concurrent_pairs += width
+                    probe_work += (width * (len(a.write_pages)
+                                            + len(a.read_pages))
+                                   + pre[hi] - pre[lo])
+                    windows.append((a, qs, lo, hi))
+        res.probes = search.comparisons
+        clock.advance(
+            self.cost_model.interval_compare * shard.model_comparisons,
+            CostCategory.INTERVALS)
+        clock.advance(self.cost_model.page_overlap_check * probe_work,
+                      CostCategory.INTERVALS)
+        check_list = build_check_list(iter_window_pairs(windows))
+        res.check_entries = len(check_list)
+        for entry in check_list:
+            res.used.add((entry.a.pid, entry.a.index))
+            res.used.add((entry.b.pid, entry.b.index))
+        if plan.lost_present:
+            resolvable = [e for e in check_list
+                          if not (e.a.lost or e.b.lost)]
+        else:
+            resolvable = check_list
+        res.needed = bitmaps_needed(resolvable)
+        res.fetch_messages, res.fetch_bytes = self._charge_shard_bitmap_round(
+            shard.owner, res.needed, clock)
+        for entry in check_list:
+            if plan.lost_present and (entry.a.lost or entry.b.lost):
+                res.items.append(self._shard_unverifiable_item(entry, epoch))
+            else:
+                item = self._shard_race_item(entry, epoch, clock, res)
+                if item is not None:
+                    res.items.append(item)
+        return res
+
+    @staticmethod
+    def merge_shard_items(left: List[ShardItem],
+                          right: List[ShardItem]) -> List[ShardItem]:
+        """One tree-reduce step: merge two key-sorted item lists.  Keys
+        are unique across shards, so this is a plain sorted merge."""
+        merged: List[ShardItem] = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i].key <= right[j].key:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged
+
+    def shard_reduce_bytes(self, items: List[ShardItem]) -> int:
+        """Encoded size of one reduce payload: a per-item entry header
+        plus a fixed record per candidate report (kind, page, offset,
+        epoch, two interval refs, verdict flags)."""
+        total = self.sizer.ints(1)
+        for item in items:
+            total += self.sizer.ints(6)
+            total += len(item.reports) * self.sizer.ints(10)
+        return total
+
+    def commit_sharded(self, plan: ShardPlan, results: List[ShardResult],
+                       items: List[ShardItem], epoch: int,
+                       master_clock: VirtualClock) -> List[RaceReport]:
+        """Coordinator-side commit of a sharded epoch: fold the reduced
+        candidate stream through the cross-epoch dedup state and update
+        every statistic exactly as ``run_epoch`` would have.
+
+        ``items`` is the fully merged, key-sorted candidate list — the
+        centralized check-list order — so first-occurrence dedup against
+        ``_seen_keys`` keeps precisely the reports the centralized engine
+        keeps, in the same order.
+        """
+        self.stats.epochs_checked += 1
+        for rec in plan.intervals:
+            self.stats.bitmaps_created += (len(rec.read_bitmaps)
+                                           + len(rec.write_bitmaps))
+        self.stats.intervals_total += len(plan.intervals)
+        self.stats.interval_comparisons += plan.model_comparisons
+        self.stats.concurrent_pairs += sum(r.concurrent_pairs
+                                           for r in results)
+        self.actual_comparisons += sum(r.probes for r in results)
+        self.stats.overlapping_pairs += sum(r.check_entries for r in results)
+        used: Set[Tuple[int, int]] = set()
+        needed: Set[Tuple[int, int, int, str]] = set()
+        for r in results:
+            used |= r.used
+            needed |= r.needed
+        self.stats.intervals_used += len(used)
+        fetched = len(needed)
+        self.stats.bitmaps_fetched += fetched
+        self.stats.bitmap_comparisons += sum(r.bitmap_comparisons
+                                             for r in results)
+
+        new_races: List[RaceReport] = []
+        new_unverifiable: List[RaceReport] = []
+        for item in items:
+            if item.kind == "unverifiable":
+                if item.pair_key not in self._unverifiable_pair_keys:
+                    self._unverifiable_pair_keys.add(item.pair_key)
+                    self.stats.unverifiable_pairs += 1
+                for report in item.reports:
+                    key = report.key()
+                    if key not in self._seen_keys:
+                        self._seen_keys.add(key)
+                        self.stats.unverifiable_reports += 1
+                        new_unverifiable.append(report)
+            else:
+                for report in item.reports:
+                    key = report.key()
+                    if key not in self._seen_keys:
+                        self._seen_keys.add(key)
+                        new_races.append(report)
+        self.unverifiable.extend(new_unverifiable)
+
+        self.stats.epoch_history.append(EpochSummary(
+            epoch=epoch, intervals=len(plan.intervals),
+            comparisons=plan.model_comparisons,
+            concurrent_pairs=sum(r.concurrent_pairs for r in results),
+            check_list_entries=sum(r.check_entries for r in results),
+            bitmaps_fetched=fetched, races=len(new_races),
+            unverifiable=len(new_unverifiable)))
+
+        if self.first_races_only and new_races:
+            if self._first_race_epoch is None:
+                self._first_race_epoch = epoch
+            elif epoch > self._first_race_epoch:
+                self.stats.races_suppressed_not_first += len(new_races)
+                return []
+        self.races.extend(new_races)
+        self.stats.races_found += len(new_races)
+        return new_races
+
+    def _charge_shard_bitmap_round(
+            self, owner: int, needed: Set[Tuple[int, int, int, str]],
+            clock: VirtualClock) -> Tuple[int, int]:
+        """Shard-local bitmap retrieval: same byte formulas as the
+        centralized round, on the owner's clock, priced under
+        SHARDED_DETECT (the round exists only because of sharding — the
+        per-shard fetches may overlap across owners, which the separate
+        category keeps honest).  Returns ``(messages, bytes)``;
+        RetryExhaustedError propagates to trigger the centralized
+        fallback."""
+        nmsgs = nbytes = 0
+        if not needed:
+            return nmsgs, nbytes
+        by_owner: Dict[int, int] = {}
+        for pid, _idx, _page, _kind in needed:
+            by_owner[pid] = by_owner.get(pid, 0) + 1
+        for pid in sorted(by_owner):
+            if pid == owner:
+                continue  # the shard owner's own bitmaps are local
+            count = by_owner[pid]
+            req_bytes = self.sizer.ints(1 + 4 * count)
+            reply_bytes = self.sizer.ints(1) + count * (
+                self.sizer.ints(4) + self.sizer.bitmap())
+            msg = self.transport.send(
+                "shard_bitmap_request", owner, pid, None, req_bytes,
+                clock, category=CostCategory.SHARDED_DETECT)
+            nmsgs += 1
+            nbytes += msg.nbytes
+            msg = self.transport.send(
+                "shard_bitmap_reply", pid, owner, None, reply_bytes,
+                clock, category=CostCategory.SHARDED_DETECT,
+                fragmentable=True)
+            nmsgs += 1
+            nbytes += msg.nbytes
+        return nmsgs, nbytes
+
+    def _shard_race_item(self, entry: CheckEntry, epoch: int,
+                         clock: VirtualClock,
+                         res: ShardResult) -> Optional[ShardItem]:
+        """Dedup-free mirror of ``_compare_entry``: same page/combination
+        order, same BITMAPS charge per comparison, but every intersection
+        bit becomes a candidate — first-occurrence dedup is the
+        coordinator's commit step, where the global order is known."""
+        a, b = entry.a, entry.b
+        reports: List[RaceReport] = []
+        for ov in entry.pages:
+            if ov.write_write:
+                reports.extend(self._shard_intersect(
+                    a, "write", a.write_bitmaps.get(ov.page),
+                    b, "write", b.write_bitmaps.get(ov.page),
+                    ov.page, RaceKind.WRITE_WRITE, epoch, clock, res))
+            if ov.a_read_b_write:
+                reports.extend(self._shard_intersect(
+                    a, "read", a.read_bitmaps.get(ov.page),
+                    b, "write", b.write_bitmaps.get(ov.page),
+                    ov.page, RaceKind.READ_WRITE, epoch, clock, res))
+            if ov.a_write_b_read:
+                reports.extend(self._shard_intersect(
+                    a, "write", a.write_bitmaps.get(ov.page),
+                    b, "read", b.read_bitmaps.get(ov.page),
+                    ov.page, RaceKind.READ_WRITE, epoch, clock, res))
+        if not reports:
+            return None
+        return ShardItem(key=(a.pid, b.pid, a.index, b.index),
+                         kind="race", reports=reports)
+
+    def _shard_intersect(self, a: Interval, a_access: str,
+                         bm_a: Optional[Bitmap], b: Interval, b_access: str,
+                         bm_b: Optional[Bitmap], page: int, kind: RaceKind,
+                         epoch: int, clock: VirtualClock,
+                         res: ShardResult) -> List[RaceReport]:
+        res.bitmap_comparisons += 1
+        clock.advance(
+            self.cost_model.bitmap_compare_per_word * self.page_size_words,
+            CostCategory.BITMAPS)
+        bm_a = bm_a or self._empty
+        bm_b = bm_b or self._empty
+        reports: List[RaceReport] = []
+        for bit in bm_a.intersection_bits(bm_b):
+            addr = page * self.page_size_words + bit
+            reports.append(RaceReport(
+                kind=kind, addr=addr, symbol=self.symbol_for(addr),
+                page=page, offset=bit, epoch=epoch,
+                a=IntervalRef(a.pid, a.index, a_access, a.sync_label),
+                b=IntervalRef(b.pid, b.index, b_access, b.sync_label)))
+        return reports
+
+    def _shard_unverifiable_item(self, entry: CheckEntry,
+                                 epoch: int) -> ShardItem:
+        """Dedup-free mirror of ``_report_unverifiable``; the pair key and
+        every candidate entry travel with the item because the pair count
+        and the report dedup both belong to the coordinator's commit."""
+        a, b = entry.a, entry.b
+        pair_key = tuple(sorted([(a.pid, a.index), (b.pid, b.index)]))
+        lost = tuple(f"P{rec.pid}:{rec.index}"
+                     for rec in sorted((a, b), key=lambda r: (r.pid, r.index))
+                     if rec.lost)
+        reports: List[RaceReport] = []
+        for ov in entry.pages:
+            combos = []
+            if ov.write_write:
+                combos.append(("write", "write", RaceKind.WRITE_WRITE))
+            if ov.a_read_b_write:
+                combos.append(("read", "write", RaceKind.READ_WRITE))
+            if ov.a_write_b_read:
+                combos.append(("write", "read", RaceKind.READ_WRITE))
+            addr = ov.page * self.page_size_words
+            for a_access, b_access, kind in combos:
+                reports.append(RaceReport(
+                    kind=kind, addr=addr, symbol=self.symbol_for(addr),
+                    page=ov.page, offset=0, epoch=epoch,
+                    a=IntervalRef(a.pid, a.index, a_access, a.sync_label),
+                    b=IntervalRef(b.pid, b.index, b_access, b.sync_label),
+                    granularity="page", verdict="unverifiable",
+                    lost_intervals=lost))
+        return ShardItem(key=(a.pid, b.pid, a.index, b.index),
+                         kind="unverifiable", reports=reports,
+                         pair_key=pair_key)
 
     # ------------------------------------------------------------------ #
     # Internals.

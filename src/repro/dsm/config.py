@@ -117,6 +117,27 @@ class DsmConfig:
         election_timeout: Extra virtual cycles the surviving nodes wait
             beyond the latest live arrival before electing a replacement
             coordinator (``--election-timeout``; failover only).
+        sharded_detection: Distribute each barrier epoch's pair search
+            across the live processes (``--sharded-detection``): the
+            coordinator partitions the cross-process interval-pair blocks
+            over shard owners, each owner fetches the partner records it
+            is missing, runs the pruned pair search and the bitmap
+            comparison for its blocks on its *own* clock, and the
+            candidate reports tree-reduce back to the coordinator, which
+            merges and dedups them against the cross-epoch keys — the
+            emitted RaceReports are byte-identical to the centralized
+            engine's (order, dedup keys, verdicts).  The distribution
+            protocol's traffic is priced under
+            ``CostCategory.SHARDED_DETECT``, outside the overhead
+            breakdown, so sharding-off artifacts stay byte-identical.  A
+            shard owner crashing mid-phase (or a sharding exchange
+            exhausting the reliable channel's retries) falls back to
+            coordinator-local detection for that epoch, soundly.  Off by
+            default.
+        detection_shards: Cap on the number of shard owners per epoch
+            (``--detection-shards``); 0 (default) means every live
+            process owns a shard.  1 degenerates to coordinator-local
+            detection.  Requires ``sharded_detection``.
         checkpoint: Take barrier-consistent in-memory checkpoints of every
             node (enables recovery with no lost metadata).
         checkpoint_dir: Directory to persist checkpoints to
@@ -168,6 +189,8 @@ class DsmConfig:
     crash_detect_timeout: float = DEFAULT_CRASH_DETECT_TIMEOUT
     master_failover: bool = False
     election_timeout: float = DEFAULT_ELECTION_TIMEOUT
+    sharded_detection: bool = False
+    detection_shards: int = 0
     checkpoint: bool = False
     checkpoint_dir: Optional[str] = None
     checkpoint_delta: bool = False
@@ -202,6 +225,13 @@ class DsmConfig:
             raise ValueError("crash_detect_timeout must be positive")
         if self.election_timeout <= 0:
             raise ValueError("election_timeout must be positive")
+        if self.detection_shards < 0:
+            raise ValueError(
+                f"detection_shards must be >= 0: {self.detection_shards}")
+        if self.detection_shards > 0 and not self.sharded_detection:
+            raise ValueError(
+                "detection_shards requires sharded detection "
+                "(--sharded-detection / DsmConfig.sharded_detection)")
         self.crash_at = tuple(sorted(set(
             (int(pid), int(gen)) for pid, gen in self.crash_at)))
         for pid, gen in self.crash_at:

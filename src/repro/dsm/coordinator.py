@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.detector import RaceDetector
-from repro.dsm.checkpoint import _canon
+from repro.dsm.checkpoint import _canon, _hash_text
 from repro.dsm.interval import Interval
 from repro.dsm.node import IntervalStore
 from repro.sim.clock import VirtualClock
@@ -86,6 +86,10 @@ class FailoverStats:
     state_checkpoints: int = 0
     #: Total journaled coordinator-state bytes.
     state_checkpoint_bytes: int = 0
+    #: Restores that found the journal torn or corrupt and fell back to
+    #: the checkpointed coordinator section (or, lacking checkpoints, the
+    #: in-memory state) instead of raising.
+    journal_fallbacks: int = 0
 
     def summary(self) -> Dict[str, int]:
         """Flat summary used in logs and tests."""
@@ -95,6 +99,58 @@ class FailoverStats:
             "records_resolicited": self.records_resolicited,
             "state_checkpoints": self.state_checkpoints,
             "state_checkpoint_bytes": self.state_checkpoint_bytes,
+            "journal_fallbacks": self.journal_fallbacks,
+        }
+
+
+@dataclass
+class ShardingStats:
+    """Sharded-detection counters for one run (``--sharded-detection``;
+    all zero with sharding off).  Tracks the distribution protocol only —
+    detection verdicts and statistics are byte-identical to the
+    centralized engine's and live in ``DetectorStats`` as usual."""
+
+    #: Barrier epochs whose detection ran sharded to completion.
+    epochs_sharded: int = 0
+    #: Epochs that ran centralized although sharding was enabled (fewer
+    #: than two owners, or no cross-process pair blocks).
+    epochs_centralized: int = 0
+    #: Non-empty shards handed to owners (coordinator's own included).
+    shards_dispatched: int = 0
+    #: Partner interval records delivered to shard owners (riding the
+    #: scatter tree — counted once per receiving owner).
+    records_shipped: int = 0
+    #: Scatter-tree messages and bytes (assignments + record deltas).
+    scatter_messages: int = 0
+    bytes_scattered: int = 0
+    #: Tree-reduce messages and bytes (candidate reports inbound).
+    reduce_messages: int = 0
+    bytes_reduced: int = 0
+    #: Shard-local bitmap fetch messages and bytes.
+    bitmap_fetch_messages: int = 0
+    bitmap_fetch_bytes: int = 0
+    #: Epochs that fell back to centralized detection because a shard
+    #: owner crashed during the sharded phase.
+    fallbacks_owner_crash: int = 0
+    #: Epochs that fell back because a sharding exchange exhausted the
+    #: reliable channel's retry budget.
+    fallbacks_network: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        """Flat summary used in logs and tests."""
+        return {
+            "epochs_sharded": self.epochs_sharded,
+            "epochs_centralized": self.epochs_centralized,
+            "shards_dispatched": self.shards_dispatched,
+            "records_shipped": self.records_shipped,
+            "scatter_messages": self.scatter_messages,
+            "bytes_scattered": self.bytes_scattered,
+            "reduce_messages": self.reduce_messages,
+            "bytes_reduced": self.bytes_reduced,
+            "bitmap_fetch_messages": self.bitmap_fetch_messages,
+            "bitmap_fetch_bytes": self.bitmap_fetch_bytes,
+            "fallbacks_owner_crash": self.fallbacks_owner_crash,
+            "fallbacks_network": self.fallbacks_network,
         }
 
 
@@ -144,15 +200,45 @@ class CoordinatorRole:
         deterministic and priceable)."""
         return _canon(self.serialize_state())
 
+    @staticmethod
+    def frame_journal(text: str) -> str:
+        """Self-validating journal frame: the canonical state body plus a
+        trailing content-hash line (same hash as checkpoint integrity).  A
+        torn write — truncation anywhere, including mid-hash — breaks the
+        frame detectably, which :meth:`parse_journal` exploits."""
+        return text + "\n" + _hash_text(text)
+
+    @staticmethod
+    def parse_journal(framed: str) -> Dict[str, Any]:
+        """Validate and decode one framed journal; raises ``ValueError``
+        on a torn or corrupt frame (missing/mismatched hash, unparseable
+        body, wrong shape) so the restore path can fall back instead of
+        installing garbage."""
+        body, sep, digest = framed.rpartition("\n")
+        if not sep or _hash_text(body) != digest:
+            raise ValueError("coordinator journal tail torn or corrupt "
+                             "(content hash mismatch)")
+        try:
+            state = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"coordinator journal body unparseable: {exc}")
+        if not isinstance(state, dict) or "detector" not in state:
+            raise ValueError("coordinator journal body malformed "
+                             "(missing role fields)")
+        return state
+
     def journal_state(self, clock: VirtualClock,
                       cost_model: CostModel) -> int:
         """Write the role state to stable storage (failover only), priced
         like a checkpoint write but under ``FAILOVER``; returns the byte
         count.  Called after every completed detection pass so the journal
-        is never staler than the last barrier-consistent cut."""
-        text = self.state_json()
-        nbytes = len(text.encode("utf-8"))
-        self._journal = text
+        is never staler than the last barrier-consistent cut.  The record
+        is framed with a trailing content hash so a torn write is
+        *detectable* on restore rather than silently corrupting the
+        successor's detector state."""
+        framed = self.frame_journal(self.state_json())
+        nbytes = len(framed.encode("utf-8"))
+        self._journal = framed
         clock.advance(cost_model.checkpoint_write_per_byte * nbytes,
                       CostCategory.FAILOVER)
         self.stats.state_checkpoints += 1
@@ -161,10 +247,13 @@ class CoordinatorRole:
 
     @property
     def journal_json(self) -> Optional[str]:
-        """The last journaled role state (``None`` until first journaled)."""
+        """The last journaled role state, framed (``None`` until first
+        journaled)."""
         return self._journal
 
-    def install_from_journal(self, new_pid: int) -> int:
+    def install_from_journal(self, new_pid: int,
+                             fallback_state: Optional[Dict[str, Any]] = None
+                             ) -> int:
         """Re-home the role on ``new_pid``, rebuilding the detector from
         the stable journal (election outcome).
 
@@ -172,12 +261,26 @@ class CoordinatorRole:
         accounting treats the winner's own bitmaps as local) and the
         journaled state is restored into it through the real
         serialize → canonical JSON → parse → restore path; returns the
-        migrated byte count.  Falls back to the current in-memory state if
-        nothing was journaled yet (possible only if failover was enabled
-        mid-run, which the config layer does not allow)."""
-        text = self._journal if self._journal is not None else self.state_json()
-        nbytes = len(text.encode("utf-8"))
-        state = json.loads(text)
+        migrated byte count.  Uses the current in-memory state if nothing
+        was journaled yet (possible only if failover was enabled mid-run,
+        which the config layer does not allow).
+
+        If the journal's frame fails validation — a torn write truncated
+        or corrupted its tail — the restore falls back to
+        ``fallback_state`` (the checkpointed coordinator section, when the
+        caller has one) or, failing that, the current in-memory state,
+        and counts the event in ``stats.journal_fallbacks``.  It never
+        raises on a bad journal: a coordinator election must not die on
+        the very fault it exists to survive."""
+        framed = (self._journal if self._journal is not None
+                  else self.frame_journal(self.state_json()))
+        nbytes = len(framed.encode("utf-8"))
+        try:
+            state = self.parse_journal(framed)
+        except ValueError:
+            self.stats.journal_fallbacks += 1
+            state = (fallback_state if fallback_state is not None
+                     else self.serialize_state())
         successor = self._factory(new_pid)
         if successor is not None and state["detector"] is not None:
             successor.restore_state(state["detector"])

@@ -30,7 +30,7 @@ from repro.dsm.checkpoint import (CheckpointManager, restore_node,
                                   snapshot_node)
 from repro.dsm.config import DsmConfig
 from repro.dsm.coordinator import (CoordinatorRole, FailoverStats,
-                                   elect_coordinator)
+                                   ShardingStats, elect_coordinator)
 from repro.dsm.interval import Interval, intervals_unseen_by
 from repro.dsm.memory import SharedSegment
 from repro.dsm.node import IntervalStore, Node
@@ -38,9 +38,10 @@ from repro.dsm.page import PageDirectory
 from repro.dsm.protocol import make_protocol
 from repro.dsm.sync import (BarrierState, EventState, GrantInfo,
                             LockState)
-from repro.dsm.vector_clock import VectorClock
+from repro.dsm.vector_clock import VectorClock, precedes
 from repro.errors import (AllocationError, CheckpointError, NodeCrashed,
-                          SegmentationFault, SynchronizationError)
+                          RetryExhaustedError, SegmentationFault,
+                          SynchronizationError)
 from repro.net.message import WireSizer
 from repro.net.reliable import ReliableChannel
 from repro.net.stats import TrafficStats
@@ -88,6 +89,11 @@ class RunResult:
     #: migrated, interval records re-solicited); all zero with failover
     #: off, and on any run whose coordinator never crashes.
     failover_stats: FailoverStats = field(default_factory=FailoverStats)
+    #: Sharded-detection protocol counters (shards dispatched, records
+    #: shipped, scatter/reduce traffic, fallbacks); all zero with sharding
+    #: off.  Detection verdicts and ``detector_stats`` are byte-identical
+    #: to the centralized engine's either way.
+    sharding_stats: ShardingStats = field(default_factory=ShardingStats)
 
     @property
     def runtime_seconds(self) -> float:
@@ -183,6 +189,7 @@ class CVM:
                         "failover with --master-failover")
         self._crasher = CrashInjector(cplan) if cplan is not None else None
         self.crash_stats = CrashStats()
+        self.sharding_stats = ShardingStats()
         self.checkpoints: Optional[CheckpointManager] = None
         if config.checkpointing_enabled:
             self.checkpoints = CheckpointManager(config.checkpoint_dir,
@@ -301,6 +308,7 @@ class CVM:
             unverifiable=(list(self.detector.unverifiable)
                           if self.detector else []),
             failover_stats=self.coordinator.stats,
+            sharding_stats=self.sharding_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -722,7 +730,10 @@ class CVM:
         master_clock.wait_until(max(bar.arrival_times.values()))
         if role.detector is not None:
             epoch_recs = role.collect_epoch(self.store, self.epoch)
-            role.run_detection(epoch_recs, self.epoch, master_clock)
+            if self.config.sharded_detection:
+                self._run_sharded_detection(role, epoch_recs, master_clock)
+            else:
+                role.run_detection(epoch_recs, self.epoch, master_clock)
         # Release payloads: one per process, carrying what it is missing.
         # The write notices are applied (invalidating stale copies) here,
         # *before* the checked epoch's records are discarded below; the
@@ -756,6 +767,187 @@ class CVM:
             self.store.discard_epoch(self.epoch - 1)
         self.epoch += 1
         bar.reset_for_next_generation()
+
+    # ------------------------------------------------------------------ #
+    # Sharded detection (``--sharded-detection``): scatter the epoch's
+    # pair blocks to shard owners, compute in parallel on the owners'
+    # clocks, tree-reduce the candidate reports to the coordinator, and
+    # commit there through the centralized dedup state — byte-identical
+    # reports, with the coordinator's serialized detection share spread
+    # over the live pids.  All protocol traffic under SHARDED_DETECT.
+    # ------------------------------------------------------------------ #
+    def _run_sharded_detection(self, role: CoordinatorRole,
+                               epoch_recs: List[Interval],
+                               master_clock) -> None:
+        """One epoch's detection, sharded when possible.
+
+        Falls back to the centralized engine — soundly and without having
+        mutated any detector state — when the epoch has nothing to shard,
+        when a shard owner crashes during the sharded phase, or when a
+        sharding exchange exhausts the reliable channel's retry budget.
+        The fallback re-runs the full pass on the coordinator's clock;
+        virtual time already spent on the abandoned sharded phase stays
+        spent (honest wasted work), but verdicts and detector statistics
+        come out exactly as if sharding had been off for this epoch.
+        """
+        bar = self.barrier_state
+        det = role.detector
+        sh = self.sharding_stats
+        crashed = [p for p in range(self.config.nprocs)
+                   if self.nodes[p].crashed is not None]
+        owners = bar.shard_owners(crashed, self.config.detection_shards)
+        plan = det.plan_shards(epoch_recs, owners)
+        if plan is None:
+            sh.epochs_centralized += 1
+            role.run_detection(epoch_recs, self.epoch, master_clock)
+            return
+        # Mid-phase owner deaths.  One crash point per live owner with a
+        # non-empty shard, on the independent "detect" schedule (so the
+        # access/send/barrier schedules of non-sharded runs are
+        # unperturbed).  Evaluated only under crash_recovery: a fail-stop
+        # raise here would unwind the last arriver's thread, not the
+        # owner's.  Any hit abandons the sharded phase for this epoch —
+        # the crashed owner recovers exactly like a barrier-arrival crash,
+        # and the coordinator, after waiting out its detection timeout,
+        # re-runs the full pass locally.
+        if self._crasher is not None and self.config.crash_recovery:
+            dead_owners = []
+            for pid in owners[1:]:
+                if not plan.shards[pid].blocks:
+                    continue
+                node = self.nodes[pid]
+                if node.crashed is not None:
+                    self.crash_stats.pending_crash_skips += 1
+                    continue
+                if self._crasher.decide(pid, "detect"):
+                    self._crash_node(node, "detect")
+                    self._charge_node_recovery(node)
+                    dead_owners.append(pid)
+            if dead_owners:
+                master_clock.wait_until(
+                    master_clock.now + self.config.crash_detect_timeout)
+                sh.fallbacks_owner_crash += 1
+                role.run_detection(epoch_recs, self.epoch, master_clock)
+                return
+        try:
+            results, items = self._sharded_phases(det, plan, master_clock)
+        except RetryExhaustedError:
+            sh.fallbacks_network += 1
+            role.run_detection(epoch_recs, self.epoch, master_clock)
+            return
+        det.commit_sharded(plan, results, items, self.epoch, master_clock)
+        sh.epochs_sharded += 1
+
+    def _sharded_phases(self, det, plan, master_clock):
+        """The three distributed phases of one sharded epoch; returns
+        ``(shard results, fully merged candidate items)``.
+
+        1. *Scatter*: the block assignments fan out along a binary tree
+           rooted at the coordinator (log-depth, not serialized on the
+           coordinator's clock).  Each edge also carries the partner
+           interval records the owners in its subtree have not observed
+           — the coordinator already holds the epoch's full record set
+           (it arrived on the barrier messages) and learned every
+           arriver's clock the same way, so shipping the deltas downhill
+           costs zero extra messages, where a fetch round would cost
+           O(owners x partners) round trips per epoch.
+        2. *Compute*: each owner, on its own clock, runs the pruned pair
+           search for its blocks and fetches the bitmaps its check
+           entries name (request/reply pairs, overlapped like the
+           centralized engine's bitmap round).
+        3. *Reduce*: candidate items flow back along the mirrored binary
+           tree (owners at distance ``step`` merge pairwise), ending at
+           the coordinator with the globally key-sorted stream.
+
+        RetryExhaustedError from any exchange propagates to the caller's
+        centralized fallback.
+        """
+        sizer = self.sizer
+        sh = self.sharding_stats
+        cat = CostCategory.SHARDED_DETECT
+        coord = plan.owners[0]
+        active = [coord] + [pid for pid in plan.owners[1:]
+                            if plan.shards[pid].blocks]
+        clocks = {pid: self.nodes[pid].clock for pid in active}
+        sh.shards_dispatched += sum(
+            1 for pid in active if plan.shards[pid].blocks)
+        n = len(active)
+        with_reads = self.config.detection
+        # Per-owner record deltas: what each owner's own clock has not
+        # observed of the partner pids its blocks name.  The records are
+        # physically in the global store (the simulation models placement
+        # by accounting); what is priced is their wire metadata riding
+        # the scatter tree below.
+        missing: Dict[int, List[Interval]] = {}
+        for pid in active[1:]:
+            node_vc = self.nodes[pid].vc
+            partners = sorted({x for blk in plan.shards[pid].blocks
+                               for x in blk if x != pid})
+            recs = [rec for q in partners for rec in plan.by_pid[q]
+                    if not rec.is_empty
+                    and not precedes(q, rec.index, node_vc)]
+            missing[pid] = recs
+            sh.records_shipped += len(recs)
+        # Phase 1: binary-tree scatter of assignments + record deltas.
+        steps = []
+        step = 1
+        while step < n:
+            steps.append(step)
+            step *= 2
+        for step in reversed(steps):
+            i = 0
+            while i + step < n:
+                src, dst = active[i], active[i + step]
+                subtree = active[i + step:min(i + 2 * step, n)]
+                nblocks = sum(len(plan.shards[p].blocks) for p in subtree)
+                body = sizer.ints(3 + 2 * len(subtree) + 2 * nblocks)
+                # Each edge ships the union of its subtree's deltas, every
+                # record once, plus one horizon clock per owner.
+                edge_recs = {}
+                for p in subtree:
+                    body += sizer.vector_clock()
+                    for rec in missing[p]:
+                        edge_recs[(rec.pid, rec.index)] = rec
+                for rec in edge_recs.values():
+                    body += rec.wire_size(sizer, with_reads)
+                msg = self.net.send("detect_shard", src, dst, None, body,
+                                    clocks[src], category=cat,
+                                    fragmentable=True)
+                clocks[dst].wait_until(msg.arrival_time)
+                sh.scatter_messages += 1
+                sh.bytes_scattered += msg.nbytes
+                i += 2 * step
+        # Phase 2: shard compute, per owner on its own clock.
+        results = []
+        buffers = {}
+        for pid in active:
+            shard = plan.shards[pid]
+            clock = clocks[pid]
+            res = det.compute_shard(shard, plan, self.epoch, clock)
+            sh.bitmap_fetch_messages += res.fetch_messages
+            sh.bitmap_fetch_bytes += res.fetch_bytes
+            results.append(res)
+            buffers[pid] = res.items
+        # Phase 3: binary tree-reduce of the candidate items, mirroring
+        # the scatter tree; the coordinator (index 0) absorbs the final
+        # merges on the master clock.
+        step = 1
+        while step < n:
+            i = 0
+            while i + step < n:
+                dst, src = active[i], active[i + step]
+                msg = self.net.send(
+                    "shard_reduce", src, dst, len(buffers[src]),
+                    det.shard_reduce_bytes(buffers[src]), clocks[src],
+                    category=cat, fragmentable=True)
+                clocks[dst].wait_until(msg.arrival_time)
+                sh.reduce_messages += 1
+                sh.bytes_reduced += msg.nbytes
+                buffers[dst] = det.merge_shard_items(buffers[dst],
+                                                     buffers[src])
+                i += 2 * step
+            step *= 2
+        return results, buffers[coord]
 
     def _coordinator_failover(self, bar: BarrierState) -> None:
         """Election plus detection-state migration, run before the barrier
@@ -810,7 +1002,7 @@ class CVM:
                           category=CostCategory.FAILOVER)
         journal = role.journal_json
         if journal is None:
-            journal = role.state_json()
+            journal = CoordinatorRole.frame_journal(role.state_json())
         jbytes = len(journal.encode("utf-8"))
         msg = self.net.send("coordinator_state", old, winner, None,
                             self.sizer.ints(2) + jbytes, clock,
@@ -819,22 +1011,60 @@ class CVM:
         clock.wait_until(msg.arrival_time)
         clock.advance(cm.checkpoint_restore_per_byte * jbytes,
                       CostCategory.FAILOVER)
-        role.install_from_journal(winner)
+        role.install_from_journal(
+            winner,
+            fallback_state=self._checkpointed_coordinator_state(old))
         bar.reassign_master(winner)
+        # Delta re-solicitation: each survivor resends only its *own*
+        # records past the winner's pre-election clock (snapshotted in
+        # ``vc0`` — the evolving clock must not be consulted, or a reply
+        # that merely *names* another pid's horizon entry would silently
+        # suppress that pid's still-unsent records).  The union over all
+        # survivors equals the full-payload protocol's applied set — every
+        # foreign record a horizon names is its owner's own record in some
+        # other reply — and write-notice application is order-insensitive
+        # and idempotent, so page state, invalidation counts and the
+        # merged clock come out identical, for a fraction of the bytes.
+        vc0 = new_node.vc.copy()
+        with_reads = self.config.detection
+        tables = self.store.by_pid()
         for p in sorted(bar.horizons):
             if p == winner:
                 continue
             horizon = bar.horizons[p]
-            recs, body, _ = self._consistency_payload(new_node.vc, horizon)
+            table = tables.get(p, {})
+            recs = [table[idx]
+                    for idx in range(vc0[p] + 1, horizon[p] + 1)
+                    if idx in table and not table[idx].is_empty]
+            body = self.sizer.vector_clock()
+            for rec in recs:
+                body += rec.wire_size(self.sizer, with_reads)
             self.net.send("resolicit_request", winner, p, None,
-                          self.sizer.ints(2), clock,
-                          category=CostCategory.FAILOVER)
-            msg = self.net.send("resolicit_reply", p, winner, None, body,
-                                clock, category=CostCategory.FAILOVER,
+                          self.sizer.ints(2) + self.sizer.vector_clock(),
+                          clock, category=CostCategory.FAILOVER)
+            msg = self.net.send("resolicit_reply", p, winner, len(recs),
+                                body, clock,
+                                category=CostCategory.FAILOVER,
                                 fragmentable=True)
             clock.wait_until(msg.arrival_time)
             self._apply_consistency(new_node, recs, horizon)
             role.stats.records_resolicited += len(recs)
+
+    def _checkpointed_coordinator_state(self, pid: int):
+        """The dead coordinator's detector state as of its last barrier
+        checkpoint, or None when checkpointing is off or no snapshot holds
+        a coordinator section.  This is the durable fallback
+        :meth:`CoordinatorRole.install_from_journal` restores from when
+        the journal tail turns out torn or corrupt."""
+        if self.checkpoints is None:
+            return None
+        snap = self.checkpoints.latest(pid)
+        if snap is None:
+            return None
+        section = snap.data.get("coordinator")
+        if not section:
+            return None
+        return section.get("state")
 
     def _declare_deaths(self, bar: BarrierState, master_clock) -> None:
         """Master-side half of the recovery protocol, run before the

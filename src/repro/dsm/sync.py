@@ -142,6 +142,26 @@ class BarrierState:
         self.dead_this_generation.add(pid)
         self.deaths_declared += 1
 
+    def shard_owners(self, crashed, limit: int = 0) -> List[int]:
+        """Owner pids for a sharded detection pass this generation
+        (``--sharded-detection``): the coordinator first (it is the reduce
+        root), then every other live arriver in pid order.
+
+        ``crashed`` names pids that crashed during the closing epoch —
+        they recovered at arrival but are conservatively not trusted with
+        shard ownership (their detection metadata may be the part that
+        was lost).  ``limit > 0`` truncates the list
+        (``--detection-shards``); a limit of 1 leaves only the
+        coordinator, which the caller treats as centralized detection.
+        """
+        dead = set(crashed) | self.dead_this_generation
+        owners = [self.master]
+        owners += [p for p in sorted(self.arrival_times)
+                   if p != self.master and p not in dead]
+        if limit > 0:
+            owners = owners[:limit]
+        return owners
+
     def reassign_master(self, pid: int) -> None:
         """Move the master role to ``pid`` (election outcome).  Only legal
         under failover; the pinned-master configuration never migrates."""

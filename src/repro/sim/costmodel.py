@@ -68,6 +68,17 @@ class CostCategory(enum.Enum):
     #: outside :data:`OVERHEAD_CATEGORIES`, so with failover disabled (the
     #: default) every regenerated table and figure stays byte-identical.
     FAILOVER = "failover"
+    #: Sharded epoch detection (``--sharded-detection``): the shard-
+    #: assignment broadcast, partner interval-record fetches, owner-side
+    #: bitmap retrievals and the candidate-report tree-reduce back to the
+    #: coordinator.  The *comparison work itself* stays in the paper's
+    #: INTERVALS/BITMAPS categories (it merely moves to the shard owners'
+    #: clocks); only the distribution protocol's traffic is priced here.
+    #: Like RETRANSMIT, RECOVERY and FAILOVER it lies outside the paper's
+    #: taxonomy and outside :data:`OVERHEAD_CATEGORIES`, so with sharding
+    #: disabled (the default) every regenerated table and figure stays
+    #: byte-identical.
+    SHARDED_DETECT = "sharded_detect"
 
     @property
     def is_overhead(self) -> bool:

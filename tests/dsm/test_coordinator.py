@@ -113,8 +113,95 @@ def test_failover_stats_summary_keys():
     s = FailoverStats().summary()
     assert set(s) == {"elections_held", "state_bytes_migrated",
                       "records_resolicited", "state_checkpoints",
-                      "state_checkpoint_bytes"}
+                      "state_checkpoint_bytes", "journal_fallbacks"}
     assert all(v == 0 for v in s.values())
+
+
+# ---------------------------------------------------------------------- #
+# Journal durability: torn or corrupt journal tails are detected on
+# restore and the role falls back instead of installing garbage.
+# ---------------------------------------------------------------------- #
+class _FakeDetector:
+    """Observable stand-in: records what state was restored into it."""
+
+    def __init__(self):
+        self.restored = None
+
+    def serialize_state(self):
+        return {"marker": "live"}
+
+    def restore_state(self, state):
+        self.restored = state
+
+
+def _observable_role():
+    return CoordinatorRole(4, failover=True, detector=_FakeDetector(),
+                           detector_factory=lambda pid: _FakeDetector(),
+                           initial_pid=0)
+
+
+def test_journal_is_framed_and_round_trips():
+    role = _observable_role()
+    role.journal_state(VirtualClock(), CostModel())
+    framed = role.journal_json
+    body, _, digest = framed.rpartition("\n")
+    assert body == role.state_json()
+    state = CoordinatorRole.parse_journal(framed)
+    assert state == {"pid": 0, "detector": {"marker": "live"}}
+
+
+@pytest.mark.parametrize("cut", [1, 10, -1, -20])
+def test_parse_journal_rejects_truncation(cut):
+    role = _observable_role()
+    role.journal_state(VirtualClock(), CostModel())
+    framed = role.journal_json
+    with pytest.raises(ValueError, match="torn or corrupt"):
+        CoordinatorRole.parse_journal(framed[:cut])
+
+
+def test_parse_journal_rejects_flipped_byte():
+    role = _observable_role()
+    role.journal_state(VirtualClock(), CostModel())
+    framed = role.journal_json
+    corrupt = framed.replace('"marker"', '"mXrker"', 1)
+    assert corrupt != framed
+    with pytest.raises(ValueError, match="torn or corrupt"):
+        CoordinatorRole.parse_journal(corrupt)
+
+
+def test_parse_journal_rejects_wrong_shape():
+    framed = CoordinatorRole.frame_journal('["not", "a", "role"]')
+    with pytest.raises(ValueError, match="malformed"):
+        CoordinatorRole.parse_journal(framed)
+
+
+def test_install_from_intact_journal_restores_journaled_state():
+    role = _observable_role()
+    role.journal_state(VirtualClock(), CostModel())
+    role.install_from_journal(2)
+    assert role.detector.restored == {"marker": "live"}
+    assert role.stats.journal_fallbacks == 0
+
+
+def test_install_from_torn_journal_uses_checkpoint_fallback():
+    role = _observable_role()
+    role.journal_state(VirtualClock(), CostModel())
+    role._journal = role._journal[:len(role._journal) // 2]
+    role.install_from_journal(
+        2, fallback_state={"pid": 0, "detector": {"marker": "checkpoint"}})
+    assert role.pid == 2
+    assert role.detector.restored == {"marker": "checkpoint"}
+    assert role.stats.journal_fallbacks == 1
+    assert role.stats.elections_held == 1
+
+
+def test_install_from_torn_journal_without_checkpoint_uses_memory():
+    role = _observable_role()
+    role.journal_state(VirtualClock(), CostModel())
+    role._journal = "garbage with no frame"
+    role.install_from_journal(1)
+    assert role.detector.restored == {"marker": "live"}
+    assert role.stats.journal_fallbacks == 1
 
 
 # ---------------------------------------------------------------------- #

@@ -174,3 +174,111 @@ def test_failover_messages_ride_reliable_channel():
                 "coordinator_state", "resolicit_request",
                 "resolicit_reply"):
         assert tag in tags, f"missing failover message {tag!r}"
+
+
+def test_resolicitation_is_delta_encoded():
+    """Each survivor resends only its *own* records past the winner's
+    pre-election horizon — the reply payloads (record counts) must sum to
+    exactly ``records_resolicited``, with no full-epoch re-shipment."""
+    spec = get_app("tsp")
+    cfg = spec.config(nprocs=4, crash_at=((0, 1),), master_failover=True,
+                      checkpoint=True)
+    system = CVM(cfg)
+    replies = []
+    original_send = system.net.send
+
+    def spying_send(tag, src, dst, payload, *args, **kwargs):
+        if tag == "resolicit_reply":
+            replies.append((src, payload))
+        return original_send(tag, src, dst, payload, *args, **kwargs)
+
+    system.net.send = spying_send
+    result = system.run(spec.func, spec.default_params)
+    assert result.failover_stats.elections_held == 1
+    assert replies, "no re-solicitation round observed"
+    assert (sum(count for _, count in replies)
+            == result.failover_stats.records_resolicited)
+    # Delta encoding: every survivor replies once per election, with its
+    # own records only — small counts, never the whole epoch's metadata.
+    assert len(replies) == cfg.nprocs - 1
+
+
+# ---------------------------------------------------------------------- #
+# Resume across a coordinator election: a checkpointed run whose
+# coordinator crashed and was replaced must be resumable, reproducing the
+# election (same winner, same migrated state) and the race report
+# byte-identically.
+# ---------------------------------------------------------------------- #
+def _failover_cell_kwargs(tmp_path=None, resume=False):
+    kw = dict(nprocs=4, crash_at=((0, 1),), master_failover=True)
+    if resume:
+        kw["resume_from"] = str(tmp_path)
+    else:
+        kw["checkpoint_dir"] = str(tmp_path)
+    return kw
+
+
+def test_resume_past_coordinator_election(tmp_path):
+    spec = get_app("tsp")
+    original = spec.run(**_failover_cell_kwargs(tmp_path))
+    assert original.failover_stats.elections_held == 1
+    resumed = spec.run(**_failover_cell_kwargs(tmp_path, resume=True))
+    assert resumed.failover_stats.elections_held == 1
+    assert _report_lines(resumed) == _report_lines(original)
+    assert resumed.detector_stats == original.detector_stats
+    assert resumed.runtime_cycles == original.runtime_cycles
+
+
+def test_resume_past_rate_driven_election(tmp_path):
+    """Same coverage on the rate-driven schedule (crashes decided by the
+    injector, not pinned), including the election."""
+    spec = get_app("tsp")
+    kwargs = dict(nprocs=4, crash_rate=0.02, crash_seed=11,
+                  master_failover=True)
+    original = spec.run(checkpoint_dir=str(tmp_path), **kwargs)
+    assert original.failover_stats.elections_held > 0
+    resumed = spec.run(resume_from=str(tmp_path), **kwargs)
+    assert resumed.failover_stats.elections_held == \
+        original.failover_stats.elections_held
+    assert _report_lines(resumed) == _report_lines(original)
+    assert resumed.runtime_cycles == original.runtime_cycles
+
+
+def test_resume_past_election_with_sharded_detection(tmp_path):
+    """The stacked case: sharded detection stays byte-identical through a
+    checkpoint, an election, and a resume of the whole history."""
+    spec = get_app("tsp")
+    original = spec.run(sharded_detection=True,
+                        **_failover_cell_kwargs(tmp_path))
+    assert original.failover_stats.elections_held == 1
+    assert original.sharding_stats.epochs_sharded > 0
+    resumed = spec.run(sharded_detection=True,
+                       **_failover_cell_kwargs(tmp_path, resume=True))
+    assert _report_lines(resumed) == _report_lines(original)
+    assert resumed.detector_stats == original.detector_stats
+    assert resumed.runtime_cycles == original.runtime_cycles
+
+
+# ---------------------------------------------------------------------- #
+# Journal durability: a torn coordinator-journal write must be detected
+# on restore and fall back to the checkpointed coordinator section —
+# never installed as garbage, never fatal.
+# ---------------------------------------------------------------------- #
+def test_torn_journal_falls_back_to_checkpoint(monkeypatch, tsp_free):
+    from repro.dsm.coordinator import CoordinatorRole
+
+    original_journal = CoordinatorRole.journal_state
+
+    def torn_journal(self, clock, cost_model):
+        nbytes = original_journal(self, clock, cost_model)
+        # Tear every journal write mid-frame, as a crash mid-write would.
+        self._journal = self._journal[:len(self._journal) // 2]
+        return nbytes
+
+    monkeypatch.setattr(CoordinatorRole, "journal_state", torn_journal)
+    res = get_app("tsp").run(nprocs=4, crash_at=((0, 1),),
+                             master_failover=True, checkpoint=True)
+    assert res.failover_stats.elections_held == 1
+    assert res.failover_stats.journal_fallbacks == 1
+    assert _report_lines(res) == _report_lines(tsp_free)
+    assert res.unverifiable == []

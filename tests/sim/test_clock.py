@@ -59,17 +59,19 @@ def test_breakdown_with_zero_base():
 
 
 def test_overhead_categories_cover_everything_but_base():
-    # RETRANSMIT (network robustness), RECOVERY (crash tolerance) and
-    # FAILOVER (coordinator election/state migration) are overhead outside
-    # the paper's Figure 3 taxonomy: is_overhead, but deliberately not
+    # RETRANSMIT (network robustness), RECOVERY (crash tolerance),
+    # FAILOVER (coordinator election/state migration) and SHARDED_DETECT
+    # (detection-sharding protocol traffic) are overhead outside the
+    # paper's Figure 3 taxonomy: is_overhead, but deliberately not
     # Figure 3 categories (keeps regenerated tables byte-identical with
-    # faults, crashes and failover off).
+    # faults, crashes, failover and sharding off).
     assert set(OVERHEAD_CATEGORIES) == \
         set(CostCategory) - {CostCategory.BASE, CostCategory.RETRANSMIT,
-                             CostCategory.RECOVERY, CostCategory.FAILOVER}
+                             CostCategory.RECOVERY, CostCategory.FAILOVER,
+                             CostCategory.SHARDED_DETECT}
     assert all(cat.is_overhead for cat in OVERHEAD_CATEGORIES)
     for cat in (CostCategory.RETRANSMIT, CostCategory.RECOVERY,
-                CostCategory.FAILOVER):
+                CostCategory.FAILOVER, CostCategory.SHARDED_DETECT):
         assert cat.is_overhead
         assert cat not in OVERHEAD_CATEGORIES
     assert not CostCategory.BASE.is_overhead
