@@ -116,6 +116,21 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
                         "fault seeds, loss rates and crash seeds "
                         "(unverifiable crash-degradation entries go to "
                         "stdout only, keeping the file comparable)")
+    p.add_argument("--mode", choices=["online", "record", "detect-offline"],
+                   default="online",
+                   help="two-phase pipeline: 'record' runs with detection "
+                        "off and logs only the synchronization order "
+                        "(lock grants, barrier arrivals, sync-message "
+                        "deliveries) to --trace-file; 'detect-offline' "
+                        "re-executes steered by that trace with the full "
+                        "detector on, reproducing the monolithic 'online' "
+                        "run's report byte-identically (see "
+                        "docs/performance.md); refuses to compose with "
+                        "--crash-rate/--crash-at/--resume-from")
+    p.add_argument("--trace-file", default=None, metavar="PATH",
+                   help="hash-framed synchronization-order trace written "
+                        "by --mode record and consumed by --mode "
+                        "detect-offline (required by both)")
 
 
 def _fault_overrides(args) -> dict:
@@ -139,6 +154,8 @@ def _fault_overrides(args) -> dict:
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_delta=getattr(args, "checkpoint_delta", False),
                 resume_from=getattr(args, "resume_from", None),
+                mode=getattr(args, "mode", "online"),
+                trace_file=getattr(args, "trace_file", None),
                 access_fast_path=not getattr(
                     args, "reference_access_path", False))
 
@@ -155,10 +172,13 @@ def cmd_run(args) -> int:
     spec = get_app(args.app)
     params = spec.paper_params if args.paper_input else spec.default_params
     nprocs = 3 if args.app == "queue_racy" else args.procs
-    if args.resume_from:
+    if args.resume_from or args.mode != "online":
         # A resumed run must match the original checkpointed run exactly,
         # so only the detection-on run is performed (measure()'s
         # uninstrumented baseline would diverge from the snapshots).
+        # The two-phase modes are likewise single runs: record forces
+        # detection off and logs the synchronization order; detect-offline
+        # replays the trace with detection on.
         res = spec.run(nprocs=nprocs, params=params,
                        protocol=args.protocol, policy=args.policy,
                        seed=args.seed,
@@ -179,6 +199,12 @@ def cmd_run(args) -> int:
     if result is not None:
         print(f"  runtime: {res.runtime_seconds * 1e3:.2f} virtual ms, "
               f"slowdown {result.slowdown:.2f}x")
+    elif args.mode == "record":
+        print(f"  runtime: {res.runtime_seconds * 1e3:.2f} virtual ms "
+              f"(recording to {args.trace_file})")
+    elif args.mode == "detect-offline":
+        print(f"  runtime: {res.runtime_seconds * 1e3:.2f} virtual ms "
+              f"(replaying {args.trace_file})")
     else:
         print(f"  runtime: {res.runtime_seconds * 1e3:.2f} virtual ms "
               f"(resumed from {args.resume_from})")
@@ -187,16 +213,29 @@ def cmd_run(args) -> int:
           f"{res.lock_acquires} lock acquires, "
           f"{res.intervals_per_barrier:.1f} intervals/barrier")
     st = res.detector_stats
-    print(f"  detector: {st.interval_comparisons} comparisons, "
-          f"{st.concurrent_pairs} concurrent pairs, "
-          f"{st.bitmaps_fetched}/{st.bitmaps_created} bitmaps fetched")
+    if st is not None:
+        print(f"  detector: {st.interval_comparisons} comparisons, "
+              f"{st.concurrent_pairs} concurrent pairs, "
+              f"{st.bitmaps_fetched}/{st.bitmaps_created} bitmaps fetched")
+    rs = res.record_stats
+    if rs is not None and args.mode == "record":
+        print(f"  record: {rs['entries_recorded']} sync entries "
+              f"({rs['lock_grants']} lock grants, "
+              f"{rs['barrier_arrivals']} barrier arrivals, "
+              f"{rs['deliveries']} message deliveries), "
+              f"{rs['trace_bytes']} trace bytes")
+    elif rs is not None:
+        print(f"  replay: {rs['grants_replayed']} lock grants steered, "
+              f"{rs['arrivals_verified']} barrier arrivals and "
+              f"{rs['deliveries_verified']} deliveries verified "
+              f"against the trace")
     if res.config.faults_enabled:
         fs = res.traffic.fault_summary()
         print(f"  network: {fs['drops']} drops, {fs['retransmits']} "
               f"retransmits, {fs['duplicates']} duplicates suppressed, "
               f"{fs['reorders']} reorders, {fs['retry_failures']} "
               f"retry failures")
-        if st.page_granularity_reports:
+        if st is not None and st.page_granularity_reports:
             print(f"  degradation: {st.page_granularity_reports} "
                   f"page-granularity report(s) after "
                   f"{st.bitmap_rounds_failed} failed bitmap round(s)")
@@ -229,7 +268,7 @@ def cmd_run(args) -> int:
               f"{fo.records_resolicited} record(s) re-solicited, "
               f"{fo.state_checkpoints} journal write(s) "
               f"({fo.state_checkpoint_bytes} bytes)")
-    if res.unverifiable:
+    if res.unverifiable and st is not None:
         print(f"\n{len(res.unverifiable)} unverifiable concurrent "
               f"pair entr(ies) — crash-lost metadata "
               f"({st.unverifiable_pairs} distinct pair(s)):")
@@ -239,11 +278,15 @@ def cmd_run(args) -> int:
         print(f"\n{len(res.races)} data race(s):")
         for race in res.races:
             print(f"  {race}")
+    elif args.mode == "record":
+        print("\ndetection deferred (record mode): replay the trace with "
+              "--mode detect-offline to get the race report")
     else:
         print("\nno data races detected")
     if args.report:
+        from repro.harness.format import race_report_lines
         with open(args.report, "w") as fh:
-            for line in sorted(str(race) for race in res.races):
+            for line in race_report_lines(res):
                 fh.write(line + "\n")
     return 0
 
@@ -255,7 +298,12 @@ def cmd_report(args) -> int:
 
 
 def cmd_attribute(args) -> int:
+    from repro.errors import ConfigError
     from repro.replay import attribute_races
+    if getattr(args, "mode", "online") != "online":
+        raise ConfigError(
+            f"attribute runs its own two-run record/replay protocol and "
+            f"cannot compose with --mode {args.mode}; drop --mode/--trace-file")
     spec = get_app(args.app)
     cfg = spec.config(nprocs=args.procs, protocol=args.protocol,
                       policy=args.policy, seed=args.seed,
@@ -282,6 +330,11 @@ def cmd_attribute(args) -> int:
 def cmd_timeline(args) -> int:
     from repro.core.timeline import timeline_from_run
     from repro.dsm.cvm import CVM
+    from repro.errors import ConfigError
+    if getattr(args, "mode", "online") != "online":
+        raise ConfigError(
+            f"timeline needs the detector's interval metadata and cannot "
+            f"compose with --mode {args.mode}; drop --mode/--trace-file")
     spec = get_app(args.app)
     nprocs = 3 if args.app == "queue_racy" else args.procs
     cfg = spec.config(nprocs=nprocs, protocol=args.protocol,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.errors import ConfigError
 from repro.net.faults import FaultPlan, plan_from_rates
 from repro.net.reliable import (DEFAULT_RETRY_BUDGET, DEFAULT_TIMEOUT_CYCLES)
 from repro.net.transport import DEFAULT_MAX_DATAGRAM
@@ -154,6 +155,27 @@ class DsmConfig:
             at the barrier generation the directory covers, validates and
             reinstalls every node's state from the restored snapshots —
             reproducing the uninterrupted run's report byte-identically.
+        mode: Execution mode of the two-phase pipeline.  ``"online"``
+            (default): the monolithic run, detector inline.  ``"record"``:
+            log only synchronization order (lock grant order, barrier
+            arrival order, sync-message delivery order) to ``trace_file``
+            with detection forced off — no bitmaps, read notices or
+            detection traffic; the logging cost is priced under
+            ``CostCategory.RECORD``, outside the overhead breakdown.
+            ``"detect-offline"``: re-execute steered by ``trace_file``
+            with the full detector on; reports are byte-identical to an
+            online run of the same seed/config.  Record and
+            detect-offline refuse to compose with crash injection and
+            ``--resume-from`` (a crash or a resume would change which
+            synchronization events exist, silently mis-recording), and
+            raise :class:`~repro.errors.ConfigError` naming both flags.
+            Lossy networks compose: the record run logs *post-retransmit*
+            delivery order, so the replay is steered by what was actually
+            delivered.
+        trace_file: Path of the hash-framed synchronization-order trace
+            (``--trace-file``): written by ``--mode record``, read by
+            ``--mode detect-offline``.  Required by both, rejected with
+            ``"online"``.
         cost_model: Cycle costs for virtual time.
         track_access_trace: Record every shared access for the baseline
             (oracle) detectors; expensive, test-scale inputs only.
@@ -195,6 +217,8 @@ class DsmConfig:
     checkpoint_dir: Optional[str] = None
     checkpoint_delta: bool = False
     resume_from: Optional[str] = None
+    mode: str = "online"
+    trace_file: Optional[str] = None
     cost_model: CostModel = field(default_factory=CostModel)
     track_access_trace: bool = False
     #: Retain every transport message for inspection (tests/debugging).
@@ -249,6 +273,37 @@ class DsmConfig:
                     "process could be elected coordinator")
             if gen < 0:
                 raise ValueError(f"crash_at generation must be >= 0: {gen}")
+        if self.mode not in ("online", "record", "detect-offline"):
+            raise ConfigError(
+                f"unknown mode {self.mode!r} (--mode): expected 'online', "
+                "'record' or 'detect-offline'")
+        if self.mode in ("record", "detect-offline"):
+            if self.trace_file is None:
+                raise ConfigError(
+                    f"--mode {self.mode} requires a trace path "
+                    "(--trace-file)")
+            if self.crashes_enabled:
+                raise ConfigError(
+                    f"--mode {self.mode} cannot compose with crash "
+                    "injection (--crash-rate/--crash-at): a crash changes "
+                    "which synchronization events exist, so the trace "
+                    "would silently mis-record the execution; drop one of "
+                    "the two flags")
+            if self.resume_from is not None:
+                raise ConfigError(
+                    f"--mode {self.mode} cannot compose with --resume-from: "
+                    "a resumed run skips the synchronization events the "
+                    "checkpoints cover, so the trace and the execution "
+                    "would disagree; drop one of the two flags")
+            if self.mode == "record":
+                # A record run never detects: that is the whole point of
+                # the phase split.  Force it off rather than making every
+                # caller remember to.
+                self.detection = False
+        elif self.trace_file is not None:
+            raise ConfigError(
+                "--trace-file only makes sense with --mode record or "
+                "--mode detect-offline (current mode: 'online')")
 
     @property
     def num_pages(self) -> int:

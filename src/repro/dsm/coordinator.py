@@ -153,6 +153,26 @@ class ShardingStats:
             "fallbacks_network": self.fallbacks_network,
         }
 
+    def merge(self, other: "ShardingStats") -> None:
+        """Fold a *staged* epoch's counters in.  The sharded phases stage
+        their counters in a scratch instance and merge only after
+        ``commit_sharded`` succeeds, so an epoch that falls back
+        (owner crash, retry exhaustion) contributes nothing — the
+        counters describe work that was actually committed, not work that
+        was attempted and abandoned."""
+        self.epochs_sharded += other.epochs_sharded
+        self.epochs_centralized += other.epochs_centralized
+        self.shards_dispatched += other.shards_dispatched
+        self.records_shipped += other.records_shipped
+        self.scatter_messages += other.scatter_messages
+        self.bytes_scattered += other.bytes_scattered
+        self.reduce_messages += other.reduce_messages
+        self.bytes_reduced += other.bytes_reduced
+        self.bitmap_fetch_messages += other.bitmap_fetch_messages
+        self.bitmap_fetch_bytes += other.bitmap_fetch_bytes
+        self.fallbacks_owner_crash += other.fallbacks_owner_crash
+        self.fallbacks_network += other.fallbacks_network
+
 
 class CoordinatorRole:
     """Ownership object for the barrier-master responsibilities.

@@ -39,9 +39,9 @@ from repro.dsm.protocol import make_protocol
 from repro.dsm.sync import (BarrierState, EventState, GrantInfo,
                             LockState)
 from repro.dsm.vector_clock import VectorClock, precedes
-from repro.errors import (AllocationError, CheckpointError, NodeCrashed,
-                          RetryExhaustedError, SegmentationFault,
-                          SynchronizationError)
+from repro.errors import (AllocationError, CheckpointError, ConfigError,
+                          NodeCrashed, RetryExhaustedError,
+                          SegmentationFault, SynchronizationError)
 from repro.net.message import WireSizer
 from repro.net.reliable import ReliableChannel
 from repro.net.stats import TrafficStats
@@ -94,6 +94,11 @@ class RunResult:
     #: off.  Detection verdicts and ``detector_stats`` are byte-identical
     #: to the centralized engine's either way.
     sharding_stats: ShardingStats = field(default_factory=ShardingStats)
+    #: Two-phase pipeline counters: a ``--mode record`` run reports the
+    #: entries captured per stream and the flushed trace bytes; a
+    #: ``--mode detect-offline`` run reports the entries replayed and
+    #: verified.  ``None`` in online mode.
+    record_stats: Optional[Dict[str, int]] = None
 
     @property
     def runtime_seconds(self) -> float:
@@ -224,6 +229,35 @@ class CVM:
         #: Optional program-counter watch (§6.1 second run): maps word
         #: address -> list that collects (pid, interval, site, is_write).
         self.pc_watch: Optional[Dict[int, List[Tuple]]] = None
+        # Two-phase pipeline (--mode record / --mode detect-offline).
+        # Record: a SyncTraceRecorder doubles as the lock-order controller
+        # and receives the barrier-arrival and message-delivery hooks; the
+        # trace is flushed (and its bytes priced under RECORD) at the end
+        # of run().  Detect-offline: the trace file is loaded and frame-
+        # checked here so corrupt files fail before any work; the config-
+        # digest check against the app happens in run(), where the app
+        # name is known.  The hooks are installed on ``self.net`` — the
+        # reliable channel when faults are configured — so a lossy record
+        # run captures *post-retransmit* delivery order and the bare
+        # transport's per-fragment sends never fire them.  Imports are
+        # deferred: repro.replay's package init pulls in the attribution
+        # pipeline, which imports this module.
+        self.trace_recorder = None
+        self.trace_enforcer = None
+        self.trace_bytes = 0
+        if config.mode == "record":
+            from repro.replay.trace import SyncTraceRecorder
+            self.trace_recorder = SyncTraceRecorder()
+            self.lock_order = self.trace_recorder
+            self.barrier_state.order_hook = self._record_arrival
+            self.net.delivery_hook = self._record_delivery
+        elif config.mode == "detect-offline":
+            from repro.replay.trace import SyncTraceEnforcer, load_trace
+            enforcer = SyncTraceEnforcer(load_trace(config.trace_file))
+            self.trace_enforcer = enforcer
+            self.lock_order = enforcer
+            self.barrier_state.order_hook = enforcer.on_barrier_arrival
+            self.net.delivery_hook = enforcer.on_delivery
         self._ran = False
 
     def _make_detector(self, master_pid: int) -> Optional[RaceDetector]:
@@ -255,6 +289,9 @@ class CVM:
         if self._ran:
             raise SynchronizationError("a CVM instance runs one application once")
         self._ran = True
+        app_name = getattr(app, "__name__", repr(app))
+        if self.trace_enforcer is not None:
+            self._verify_trace_header(app_name)
         for pid in range(self.config.nprocs):
             proc = self.scheduler.spawn(self._proc_main, app, pid, args)
             self.nodes.append(Node(pid, self.config, proc.clock, self.store))
@@ -276,7 +313,81 @@ class CVM:
             for node in self.nodes:
                 self._take_checkpoint(node, generation=0)
         self.scheduler.run()
+        if self.trace_recorder is not None:
+            self._flush_trace(app_name)
+        elif self.trace_enforcer is not None:
+            # A replay that finished without consuming the whole trace
+            # means the executions disagree — fail, don't under-report.
+            self.trace_enforcer.check_fully_consumed()
         return self._collect()
+
+    # ------------------------------------------------------------------ #
+    # Two-phase pipeline plumbing (--mode record / --mode detect-offline).
+    # ------------------------------------------------------------------ #
+    def _charge_record(self, node: Node) -> None:
+        """One captured synchronization-order entry, on the acting pid's
+        clock — the record run's only per-event online cost."""
+        node.clock.advance(self.config.cost_model.record_entry,
+                           CostCategory.RECORD)
+
+    def _record_arrival(self, generation: int, pid: int) -> None:
+        self._charge_record(self.nodes[pid])
+        self.trace_recorder.on_barrier_arrival(generation, pid)
+
+    def _record_delivery(self, tag: str, src: int, dst: int) -> None:
+        from repro.replay.trace import SYNC_TAGS
+        if tag not in SYNC_TAGS:
+            return
+        self._charge_record(self.nodes[src])
+        self.trace_recorder.on_delivery(tag, src, dst)
+
+    def _verify_trace_header(self, app_name: str) -> None:
+        """Refuse to replay a trace recorded under a different execution
+        configuration: the config digest pins every execution-shaping
+        field (app, nprocs, seed, policy, network-fault schedule...), so
+        a mismatch means the trace would steer a different program."""
+        from repro.replay.trace import execution_digest
+        trace = self.trace_enforcer.trace
+        digest = execution_digest(self.config, app_name)
+        if digest != trace.digest:
+            raise ConfigError(
+                "--mode detect-offline: the trace (--trace-file) was "
+                "recorded under a different execution configuration: "
+                f"recorded app={trace.app!r} nprocs={trace.nprocs} "
+                f"seed={trace.seed} policy={trace.policy!r} "
+                f"fault_seed={trace.fault_seed}; this run has "
+                f"app={app_name!r} nprocs={self.config.nprocs} "
+                f"seed={self.config.seed} policy={self.config.policy!r} "
+                f"fault_seed={self.config.fault_seed} (config digest "
+                f"{trace.digest} != {digest}); re-record with --mode "
+                "record under this configuration or fix the flags")
+
+    def _flush_trace(self, app_name: str) -> None:
+        """End-of-run trace flush: finalize the header, frame and persist
+        the file, and price the serialization on the coordinator's clock
+        (it owns the run's durable artifacts, like the role journal)."""
+        from repro.replay.trace import execution_digest, write_trace
+        digest = execution_digest(self.config, app_name)
+        trace = self.trace_recorder.build(app_name, self.config, digest)
+        self.trace_bytes = write_trace(trace, self.config.trace_file)
+        self.nodes[self.coordinator.pid].clock.advance(
+            self.config.cost_model.record_flush_per_byte * self.trace_bytes,
+            CostCategory.RECORD)
+
+    def _two_phase_stats(self) -> Optional[Dict[str, int]]:
+        if self.trace_recorder is not None:
+            t = self.trace_recorder.trace
+            return {"entries_recorded": self.trace_recorder.entries_recorded,
+                    "lock_grants": t.total_grants,
+                    "barrier_arrivals": t.total_arrivals,
+                    "deliveries": len(t.deliveries),
+                    "trace_bytes": self.trace_bytes}
+        if self.trace_enforcer is not None:
+            e = self.trace_enforcer
+            return {"grants_replayed": e.grants_replayed,
+                    "arrivals_verified": e.arrivals_verified,
+                    "deliveries_verified": e.deliveries_verified}
+        return None
 
     def _proc_main(self, app: Callable[..., Any], pid: int, args: tuple) -> Any:
         env = Env(self, pid)
@@ -309,6 +420,7 @@ class CVM:
                           if self.detector else []),
             failover_stats=self.coordinator.stats,
             sharding_stats=self.sharding_stats,
+            record_stats=self._two_phase_stats(),
         )
 
     # ------------------------------------------------------------------ #
@@ -530,6 +642,8 @@ class CVM:
             st.acquires += 1
             if self.lock_order is not None:
                 self.lock_order.record_grant(lid, pid)
+                if self.trace_recorder is not None:
+                    self._charge_record(node)
             self._charge_idle_lock_acquire(node, st)
             if st.last_release_vc is not None:
                 recs, _body, _rb = self._consistency_payload(
@@ -590,6 +704,8 @@ class CVM:
             st.acquires += 1
             if self.lock_order is not None:
                 self.lock_order.record_grant(lid, nxt)
+                if self.trace_recorder is not None:
+                    self._charge_record(node)  # the releaser does the work
             _recs, body, read_bytes = self._consistency_payload(
                 self.nodes[nxt].vc, st.last_release_vc)
             msg = self.net.send("lock_grant", pid, nxt, None, body,
@@ -830,17 +946,31 @@ class CVM:
                 role.run_detection(epoch_recs, self.epoch, master_clock)
                 return
         try:
-            results, items = self._sharded_phases(det, plan, master_clock)
+            results, items, staged = self._sharded_phases(det, plan,
+                                                          master_clock)
         except RetryExhaustedError:
             sh.fallbacks_network += 1
             role.run_detection(epoch_recs, self.epoch, master_clock)
             return
         det.commit_sharded(plan, results, items, self.epoch, master_clock)
+        # Counters for the sharded phases are staged and folded in only
+        # now that the epoch committed: an abandoned phase (a fallback
+        # above) must not leave dispatched-shard or shipped-record counts
+        # behind for work whose results were thrown away.
+        sh.merge(staged)
         sh.epochs_sharded += 1
 
     def _sharded_phases(self, det, plan, master_clock):
         """The three distributed phases of one sharded epoch; returns
-        ``(shard results, fully merged candidate items)``.
+        ``(shard results, fully merged candidate items, staged stats)``.
+
+        Counters are accumulated in a *staged* :class:`ShardingStats`
+        that the caller merges only after ``commit_sharded`` succeeds: a
+        ``RetryExhaustedError`` mid-phase abandons the epoch, and
+        counters incremented before the failing send would otherwise
+        survive the fallback and overcount (shards "dispatched" whose
+        results were discarded, records "shipped" that the fallback never
+        used).
 
         1. *Scatter*: the block assignments fan out along a binary tree
            rooted at the coordinator (log-depth, not serialized on the
@@ -863,7 +993,7 @@ class CVM:
         centralized fallback.
         """
         sizer = self.sizer
-        sh = self.sharding_stats
+        sh = ShardingStats()  # staged; merged by the caller on commit
         cat = CostCategory.SHARDED_DETECT
         coord = plan.owners[0]
         active = [coord] + [pid for pid in plan.owners[1:]
@@ -947,7 +1077,7 @@ class CVM:
                                                      buffers[src])
                 i += 2 * step
             step *= 2
-        return results, buffers[coord]
+        return results, buffers[coord], sh
 
     def _coordinator_failover(self, bar: BarrierState) -> None:
         """Election plus detection-state migration, run before the barrier
@@ -1095,6 +1225,45 @@ class CVM:
             arrived = bar.arrival_times[p]
             bar.arrival_times[p] = max(
                 arrived, msg.arrival_time + (arrived - rec.time))
+        self._migrate_lock_managers(bar, set(crashed), master_clock)
+
+    def _migrate_lock_managers(self, bar: BarrierState, dead: set,
+                               master_clock) -> None:
+        """Re-home every lock whose static manager pid was just declared
+        dead onto the lowest live pid.
+
+        The static ``lid % nprocs`` assignment never moved before: a
+        manager death left its locks pointed at a node that is silent for
+        the rest of the recovery window, stranding every blocked waiter's
+        request/forward exchange at a dead endpoint.  The master (which
+        has just declared the deaths) ships each managed lock's queue and
+        prepared-grant state (``grant_box`` — grants a releaser prepared
+        for waiters that have not consumed them yet) to the new manager in
+        one handoff message, priced under RECOVERY like the rest of the
+        death-declaration protocol.  Race verdicts are vector-clock
+        structural, so the re-homing changes traffic and virtual time only
+        — reports stay byte-identical to the crash-free run's."""
+        if not dead:
+            return
+        live = [p for p in range(self.config.nprocs) if p not in dead]
+        if not live:
+            return
+        new_mgr = live[0]
+        for lid in sorted(self.locks):
+            st = self.locks[lid]
+            if st.manager not in dead:
+                continue
+            st.manager = new_mgr
+            self.crash_stats.locks_migrated += 1
+            if new_mgr != bar.master:
+                # Lock id + holder + queue snapshot + prepared grants
+                # (pid + vector clock each).
+                body = (self.sizer.ints(3 + len(st.queue))
+                        + len(st.grant_box)
+                        * (self.sizer.ints(1) + self.sizer.vector_clock()))
+                self.net.send("lock_migrate", bar.master, new_mgr, None,
+                              body, master_clock,
+                              category=CostCategory.RECOVERY)
 
     def _barrier_depart(self, pid: int) -> None:
         node = self.nodes[pid]

@@ -116,6 +116,12 @@ class BarrierState:
         self.dead_this_generation: Set[int] = set()
         #: Total deaths declared across all generations.
         self.deaths_declared = 0
+        #: Optional ``(generation, pid)`` callback fired at every arrival —
+        #: the two-phase pipeline's arrival-order capture point
+        #: (:class:`~repro.replay.trace.SyncTraceRecorder` appends to the
+        #: trace, :class:`~repro.replay.trace.SyncTraceEnforcer` verifies
+        #: the replayed order).  ``None`` (default) costs nothing.
+        self.order_hook = None
 
     def arrive(self, pid: int, now: float) -> bool:
         """Record an arrival; True if this was the last process in."""
@@ -125,6 +131,8 @@ class BarrierState:
                 f"{self.generation}")
         self.arrived.append(pid)
         self.arrival_times[pid] = now
+        if self.order_hook is not None:
+            self.order_hook(self.generation, pid)
         return len(self.arrived) == self.nprocs
 
     def declare_dead(self, pid: int) -> None:

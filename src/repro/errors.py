@@ -154,3 +154,21 @@ class DetectorError(ReproError):
 
 class ReplayError(ReproError):
     """Replay diverged from the recorded synchronization order."""
+
+
+class ConfigError(DsmError, ValueError):
+    """A configuration combination the system cannot honor.
+
+    Subclasses :class:`ValueError` so that callers validating
+    :class:`~repro.dsm.config.DsmConfig` fields with a broad
+    ``except ValueError`` keep working; new rejection paths (the
+    two-phase record/detect-offline mode) raise this so the message can
+    name the offending flags explicitly.
+    """
+
+
+class TraceError(ReproError):
+    """A synchronization-order trace file could not be written, parsed,
+    or validated (torn frame, hash mismatch, schema drift).  Distinct
+    from :class:`ReplayError`, which signals a *divergence* during an
+    otherwise well-formed replay."""

@@ -47,3 +47,14 @@ def markdown_table(headers: Sequence[str],
     for row in rows:
         out.append("| " + " | ".join(_fmt(v) for v in row) + " |")
     return "\n".join(out)
+
+
+def race_report_lines(result) -> List[str]:
+    """Canonical race-report lines for a finished run: one line per
+    :class:`~repro.core.report.RaceReport`, sorted.
+
+    This is the comparison format everywhere reports are diffed — the CLI
+    ``--report`` file, the CI smoke jobs, and the equivalence suites
+    (record/replay, sharded-vs-centralized, crash-vs-crash-free) — so a
+    byte-identical claim always means the same bytes."""
+    return sorted(str(race) for race in result.races)

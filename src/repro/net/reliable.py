@@ -92,6 +92,15 @@ class ReliableChannel:
         #: retransmitted and repeated messages reuse the tuple instead of
         #: re-deriving it.
         self._frag_cache: Dict[int, Tuple[int, ...]] = {}
+        #: Optional ``(tag, src, dst)`` callback fired once per *logical*
+        #: message at the end of :meth:`send`, after every fragment —
+        #: retransmissions included — has been delivered.  This is the
+        #: two-phase pipeline's delivery-order capture point on a lossy
+        #: network: the trace records what was actually delivered, not
+        #: what was first attempted.  The inner transport's own hook is
+        #: left unset, so per-fragment sends, retransmits and acks never
+        #: fire it.
+        self.delivery_hook = None
 
     # -- Transport surface ------------------------------------------------ #
     @property
@@ -170,6 +179,8 @@ class ReliableChannel:
         self.transport.send("ack", dst, src, None, ACK_BODY_BYTES,
                             src_clock, category=CostCategory.RETRANSMIT)
         stats.acks += 1
+        if self.delivery_hook is not None:
+            self.delivery_hook(tag, src, dst)
         return Message(tag=tag, src=src, dst=dst, payload=payload,
                        nbytes=total_bytes, send_time=send_time,
                        arrival_time=arrival, seqno=seq,

@@ -46,6 +46,14 @@ class Transport:
         #: interpreter (equivalence suites, benchmarks) assign identical
         #: seqnos and record/replay stays deterministic.
         self._seqno = itertools.count()
+        #: Optional ``(tag, src, dst)`` callback fired once per *logical*
+        #: message at the end of :meth:`send` — the two-phase pipeline's
+        #: delivery-order capture point on a fault-free network.  On a
+        #: lossy network the :class:`~repro.net.reliable.ReliableChannel`
+        #: owns the hook instead (post-retransmit order) and leaves this
+        #: one unset on its inner transport, so fragments, retransmits and
+        #: acks never fire it.
+        self.delivery_hook = None
 
     def send(self, tag: str, src: int, dst: int, payload: Any,
              body_bytes: int, src_clock: VirtualClock,
@@ -98,6 +106,8 @@ class Transport:
         self.stats.record(tag, src, dst, nbytes, count=nfragments)
         if self.trace:
             self.messages.append(msg)
+        if self.delivery_hook is not None:
+            self.delivery_hook(tag, src, dst)
         return msg
 
     def deliver(self, msg: Message, dst_clock: VirtualClock) -> Any:

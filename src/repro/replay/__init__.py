@@ -16,16 +16,39 @@ same grant order on replay.
 * :func:`~repro.replay.attribute.attribute_races` — the full two-run
   pipeline: detect races, then replay with a watch on the racy addresses
   and return the access sites (our PC analogue) that produced them.
+
+The two-phase pipeline (``--mode record`` / ``--mode detect-offline``)
+extends the same machinery to the production-traffic use case: a record
+run logs the *complete* synchronization order (lock grants, barrier
+arrival order, sync-message delivery order) to a hash-framed trace file
+with detection off, and a replay run re-executes steered by the trace
+with the full detector on — see :mod:`repro.replay.trace`.
 """
 
 from repro.replay.attribute import AttributionReport, attribute_races
 from repro.replay.record import LockOrderRecorder, SyncOrderLog
 from repro.replay.replay import LockOrderEnforcer
+from repro.replay.trace import (
+    SYNC_TAGS,
+    SyncTrace,
+    SyncTraceEnforcer,
+    SyncTraceRecorder,
+    execution_digest,
+    load_trace,
+    write_trace,
+)
 
 __all__ = [
     "AttributionReport",
     "LockOrderEnforcer",
     "LockOrderRecorder",
+    "SYNC_TAGS",
     "SyncOrderLog",
+    "SyncTrace",
+    "SyncTraceEnforcer",
+    "SyncTraceRecorder",
     "attribute_races",
+    "execution_digest",
+    "load_trace",
+    "write_trace",
 ]

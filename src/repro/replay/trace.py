@@ -1,0 +1,382 @@
+"""Canonical, hash-framed synchronization-order traces (two-phase mode).
+
+The online detector pays its full cost on the live run.  The two-phase
+pipeline (``--mode record`` / ``--mode detect-offline``) splits that cost
+the way Ronsse & De Bosschere's non-intrusive record/replay scheme does
+(PAPERS.md): the *record* run executes with detection off and logs only
+the synchronization order — the per-lock grant sequence, the per-generation
+barrier arrival order, and the delivery order of the synchronization-level
+messages — while the *replay* run re-executes the application steered by
+the trace with the full detector enabled, producing reports byte-identical
+to a monolithic online run of the same seed and configuration.
+
+Why logging only synchronization order suffices: the simulation's
+scheduler is deterministic and driven by yield counts, not virtual time,
+so with the same seed and policy the interleaving is a function of the
+program's synchronization structure alone.  Detection changes *virtual
+time* (clock charges, extra bitmap traffic) but never the interleaving —
+which is exactly the property the equivalence suite asserts.  The trace
+therefore both *steers* the replay (the lock-grant gate in
+``CVM.lock_acquire``) and *verifies* it (arrival and delivery streams
+raise :class:`~repro.errors.ReplayError` on the first divergence).
+
+File format (PR 6's journal idiom): the canonical-JSON body followed by a
+newline and a BLAKE2b content hash of the body.  Truncation or corruption
+anywhere — including mid-hash — breaks the frame detectably, so a torn
+record-side write surfaces as a loud :class:`~repro.errors.TraceError` at
+replay instead of silently steering the run somewhere else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dsm.checkpoint import _canon, _hash_text
+from repro.errors import ReplayError, TraceError
+from repro.replay.record import SyncOrderLog
+from repro.replay.replay import LockOrderEnforcer
+
+#: Bump when the trace schema changes incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+#: Message tags whose send sequence is identical with detection on and
+#: off: the base DSM synchronization and paging protocol.  Detection-side
+#: traffic (bitmap rounds, shard scatter/reduce) and robustness traffic
+#: (recovery, election, acks, retransmitted fragments) are excluded — the
+#: replay run legitimately adds or lacks those, so recording them would
+#: make the delivery streams incomparable.
+SYNC_TAGS = frozenset({
+    "lock_request", "lock_forward", "lock_grant", "event_set",
+    "barrier_arrival", "barrier_release",
+    "page_request", "page_forward", "page_reply",
+})
+
+
+def execution_digest(config, app_name: str) -> str:
+    """Digest of every configuration field that shapes the *execution* —
+    the interleaving and the message sequence — but none that only shape
+    detection or accounting.
+
+    A record run (detection off) and its replay (detection on) must
+    produce the same digest, so detection-side fields
+    (``first_races_only``, ``detector_fast_path``, sharding, ...) are
+    deliberately excluded; crash fields are absent because the config
+    layer refuses to compose crash injection with either mode.
+    """
+    plan = config.effective_fault_plan()
+    plan_desc: Optional[Dict[str, Any]] = None
+    if config.fault_plan is not None and plan is not None:
+        plan_desc = {
+            "default": dataclasses.asdict(plan.default),
+            "by_tag": {tag: dataclasses.asdict(rates)
+                       for tag, rates in sorted(plan.by_tag.items())},
+            "seed": plan.seed,
+            "reorder_delay_cycles": plan.reorder_delay_cycles,
+        }
+    fields = {
+        "version": TRACE_FORMAT_VERSION,
+        "app": app_name,
+        "nprocs": config.nprocs,
+        "protocol": config.protocol,
+        "policy": config.policy,
+        "seed": config.seed,
+        "page_size_words": config.page_size_words,
+        "segment_words": config.segment_words,
+        "max_datagram": config.max_datagram,
+        "fragmentable_messages": config.fragmentable_messages,
+        "loss_rate": config.loss_rate,
+        "duplicate_rate": config.duplicate_rate,
+        "reorder_rate": config.reorder_rate,
+        "fault_seed": config.fault_seed,
+        "retry_budget": config.retry_budget,
+        "retransmit_timeout": config.retransmit_timeout,
+        "fault_plan": plan_desc,
+        "consolidation_interval": config.consolidation_interval,
+    }
+    return _hash_text(_canon(fields))
+
+
+@dataclass
+class SyncTrace:
+    """One record run's complete synchronization order, plus the header
+    that pins it to an execution (app, nprocs, seed..., config digest)."""
+
+    app: str = ""
+    nprocs: int = 0
+    seed: int = 0
+    policy: str = "round_robin"
+    fault_seed: int = 0
+    digest: str = ""
+    #: Grant order per lock id (the ROLT log).
+    lock_grants: Dict[int, List[int]] = field(default_factory=dict)
+    #: Arrival order per barrier generation.
+    barrier_arrivals: List[List[int]] = field(default_factory=list)
+    #: Delivery order of :data:`SYNC_TAGS` messages, post-retransmit —
+    #: one ``(tag, src, dst)`` per *logical* message, appended when the
+    #: reliable channel has delivered every fragment.
+    deliveries: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    # ---------------------------------------------------------------- #
+    # Sizes and counts.
+    # ---------------------------------------------------------------- #
+    @property
+    def total_grants(self) -> int:
+        return sum(len(seq) for seq in self.lock_grants.values())
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(len(gen) for gen in self.barrier_arrivals)
+
+    @property
+    def entry_count(self) -> int:
+        return (self.total_grants + self.total_arrivals
+                + len(self.deliveries))
+
+    def sync_order_log(self) -> SyncOrderLog:
+        """The lock-grant portion as the ROLT log the existing enforcer
+        machinery consumes."""
+        return SyncOrderLog(grants={lid: list(seq)
+                                    for lid, seq in self.lock_grants.items()})
+
+    # ---------------------------------------------------------------- #
+    # Canonical serialization with the PR 6 journal framing.
+    # ---------------------------------------------------------------- #
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "app": self.app,
+            "nprocs": self.nprocs,
+            "seed": self.seed,
+            "policy": self.policy,
+            "fault_seed": self.fault_seed,
+            "digest": self.digest,
+            "lock_grants": [[lid, list(seq)]
+                            for lid, seq in sorted(self.lock_grants.items())],
+            "barrier_arrivals": [list(gen) for gen in self.barrier_arrivals],
+            "deliveries": [[tag, src, dst]
+                           for tag, src, dst in self.deliveries],
+        }
+
+    def to_framed(self) -> str:
+        """Canonical body + newline + content hash: a torn write breaks
+        the frame detectably (same idiom as the coordinator journal)."""
+        body = _canon(self.to_payload())
+        return body + "\n" + _hash_text(body)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SyncTrace":
+        if not isinstance(payload, dict):
+            raise TraceError("trace body is not a JSON object")
+        version = payload.get("version")
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceError(
+                f"trace format version {version!r} is not the supported "
+                f"version {TRACE_FORMAT_VERSION}")
+        required = ("app", "nprocs", "seed", "policy", "fault_seed",
+                    "digest", "lock_grants", "barrier_arrivals",
+                    "deliveries")
+        missing = [key for key in required if key not in payload]
+        if missing:
+            raise TraceError(f"trace body missing fields: {missing}")
+        return cls(
+            app=payload["app"], nprocs=payload["nprocs"],
+            seed=payload["seed"], policy=payload["policy"],
+            fault_seed=payload["fault_seed"], digest=payload["digest"],
+            lock_grants={int(lid): [int(p) for p in seq]
+                         for lid, seq in payload["lock_grants"]},
+            barrier_arrivals=[[int(p) for p in gen]
+                              for gen in payload["barrier_arrivals"]],
+            deliveries=[(str(tag), int(src), int(dst))
+                        for tag, src, dst in payload["deliveries"]])
+
+    @classmethod
+    def parse_framed(cls, framed: str) -> "SyncTrace":
+        """Validate the frame and decode the trace; raises
+        :class:`TraceError` on a torn or corrupt file so replay fails
+        loudly instead of silently steering a different execution."""
+        body, sep, digest = framed.rpartition("\n")
+        if not sep or _hash_text(body) != digest:
+            raise TraceError(
+                "trace file tail torn or corrupt (content hash mismatch); "
+                "re-run the record phase")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"trace body unparseable: {exc}")
+        return cls.from_payload(payload)
+
+
+def load_trace(path: str) -> SyncTrace:
+    """Read and validate a trace file written by a record run."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            framed = fh.read()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path!r}: {exc}")
+    return SyncTrace.parse_framed(framed)
+
+
+def write_trace(trace: SyncTrace, path: str) -> int:
+    """Persist a trace file; returns the byte count (the record run's
+    flush cost input).  The frame makes torn writes detectable at replay;
+    the write itself is plain (a record run that dies mid-flush simply
+    yields an invalid trace, which replay rejects)."""
+    framed = trace.to_framed()
+    data = framed.encode("utf-8")
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(framed)
+    except OSError as exc:
+        raise TraceError(f"cannot write trace file {path!r}: {exc}")
+    return len(data)
+
+
+class SyncTraceRecorder:
+    """Attach to a record run (``--mode record``): passively logs the
+    synchronization order.
+
+    Implements the ``CVM.lock_order`` controller protocol (grants are
+    never gated while recording) plus the barrier-arrival and
+    message-delivery hooks.  The CVM charges ``CostModel.record_entry``
+    under ``CostCategory.RECORD`` at each capture site and the per-byte
+    flush cost when the trace file is written at the end of the run.
+    """
+
+    def __init__(self) -> None:
+        self.trace = SyncTrace()
+        #: Entries captured (the record run's per-entry cost multiplier).
+        self.entries_recorded = 0
+
+    # -- lock controller protocol ------------------------------------- #
+    def may_acquire(self, lid: int, pid: int) -> bool:
+        return True
+
+    def expected_next(self, lid: int):
+        return None  # no constraint while recording
+
+    def record_grant(self, lid: int, pid: int) -> None:
+        self.trace.lock_grants.setdefault(lid, []).append(pid)
+        self.entries_recorded += 1
+
+    # -- barrier-arrival hook ------------------------------------------ #
+    def on_barrier_arrival(self, generation: int, pid: int) -> None:
+        while len(self.trace.barrier_arrivals) <= generation:
+            self.trace.barrier_arrivals.append([])
+        self.trace.barrier_arrivals[generation].append(pid)
+        self.entries_recorded += 1
+
+    # -- delivery hook (post-retransmit, one per logical message) ------ #
+    def on_delivery(self, tag: str, src: int, dst: int) -> None:
+        if tag not in SYNC_TAGS:
+            return
+        self.trace.deliveries.append((tag, src, dst))
+        self.entries_recorded += 1
+
+    def build(self, app: str, config, digest: str) -> SyncTrace:
+        """Finalize the trace with its execution header."""
+        t = self.trace
+        t.app = app
+        t.nprocs = config.nprocs
+        t.seed = config.seed
+        t.policy = config.policy
+        t.fault_seed = config.fault_seed
+        t.digest = digest
+        return t
+
+
+class SyncTraceEnforcer:
+    """Attach to a replay run (``--mode detect-offline``): steers the
+    lock-grant order through the recorded sequence (the existing ROLT
+    enforcer) and *verifies* the barrier-arrival and message-delivery
+    streams position by position, raising
+    :class:`~repro.errors.ReplayError` on the first divergence."""
+
+    def __init__(self, trace: SyncTrace):
+        self.trace = trace
+        self._locks = LockOrderEnforcer(trace.sync_order_log())
+        #: Next unconsumed position per barrier generation.
+        self._arrival_pos: Dict[int, int] = {}
+        self._delivery_pos = 0
+        self.arrivals_verified = 0
+        self.deliveries_verified = 0
+
+    @property
+    def grants_replayed(self) -> int:
+        return self._locks.grants_replayed
+
+    # -- lock controller protocol (delegated) -------------------------- #
+    def may_acquire(self, lid: int, pid: int) -> bool:
+        return self._locks.may_acquire(lid, pid)
+
+    def expected_next(self, lid: int):
+        return self._locks.expected_next(lid)
+
+    def record_grant(self, lid: int, pid: int) -> None:
+        self._locks.record_grant(lid, pid)
+
+    # -- barrier-arrival verification ---------------------------------- #
+    def on_barrier_arrival(self, generation: int, pid: int) -> None:
+        gens = self.trace.barrier_arrivals
+        if generation >= len(gens):
+            raise ReplayError(
+                f"replay diverged: barrier generation {generation} was "
+                f"never recorded (trace ends at generation {len(gens) - 1})")
+        pos = self._arrival_pos.get(generation, 0)
+        recorded = gens[generation]
+        if pos >= len(recorded):
+            raise ReplayError(
+                f"replay diverged: extra arrival of P{pid} at barrier "
+                f"generation {generation} (trace recorded "
+                f"{len(recorded)} arrivals)")
+        if recorded[pos] != pid:
+            raise ReplayError(
+                f"replay diverged: arrival #{pos} at barrier generation "
+                f"{generation} was P{pid}, recorded P{recorded[pos]}")
+        self._arrival_pos[generation] = pos + 1
+        self.arrivals_verified += 1
+
+    # -- delivery-stream verification ---------------------------------- #
+    def on_delivery(self, tag: str, src: int, dst: int) -> None:
+        if tag not in SYNC_TAGS:
+            return
+        stream = self.trace.deliveries
+        pos = self._delivery_pos
+        if pos >= len(stream):
+            raise ReplayError(
+                f"replay diverged: delivery #{pos} "
+                f"({tag!r} P{src}->P{dst}) past the end of the recorded "
+                f"stream ({len(stream)} deliveries)")
+        want = stream[pos]
+        if want != (tag, src, dst):
+            raise ReplayError(
+                f"replay diverged at delivery #{pos}: got {tag!r} "
+                f"P{src}->P{dst}, recorded {want[0]!r} "
+                f"P{want[1]}->P{want[2]}")
+        self._delivery_pos = pos + 1
+        self.deliveries_verified += 1
+
+    def fully_consumed(self) -> bool:
+        """True when every recorded entry was replayed and verified."""
+        if not self._locks.fully_consumed():
+            return False
+        for gen, recorded in enumerate(self.trace.barrier_arrivals):
+            if self._arrival_pos.get(gen, 0) < len(recorded):
+                return False
+        return self._delivery_pos >= len(self.trace.deliveries)
+
+    def check_fully_consumed(self) -> None:
+        if not self.fully_consumed():
+            remaining_grants = (self.trace.total_grants
+                                - self.grants_replayed)
+            remaining_arrivals = (self.trace.total_arrivals
+                                  - self.arrivals_verified)
+            remaining_deliveries = (len(self.trace.deliveries)
+                                    - self._delivery_pos)
+            raise ReplayError(
+                "replay ended before consuming the recorded trace: "
+                f"{remaining_grants} grant(s), {remaining_arrivals} "
+                f"arrival(s) and {remaining_deliveries} deliver(ies) "
+                "were never replayed")

@@ -79,6 +79,17 @@ class CostCategory(enum.Enum):
     #: disabled (the default) every regenerated table and figure stays
     #: byte-identical.
     SHARDED_DETECT = "sharded_detect"
+    #: Two-phase record mode (``--mode record``): appending one
+    #: synchronization-order entry (lock grant, barrier arrival, message
+    #: delivery) to the in-memory log and flushing the hash-framed trace
+    #: file at the end of the run.  This is the *online* cost of the
+    #: record/detect-offline pipeline (Ronsse & De Bosschere's
+    #: non-intrusive record phase); the detector's full cost moves to the
+    #: offline replay run.  Like RETRANSMIT, RECOVERY, FAILOVER and
+    #: SHARDED_DETECT it lies outside the paper's taxonomy and outside
+    #: :data:`OVERHEAD_CATEGORIES`, so with record mode off (the default)
+    #: every regenerated table and figure stays byte-identical.
+    RECORD = "record"
 
     @property
     def is_overhead(self) -> bool:
@@ -179,6 +190,18 @@ class CostModel:
     #: Fixed restart cost of a crashed node (process relaunch, DSM rejoin
     #: handshake), excluding restore and re-execution.
     crash_restart: float = 30_000.0
+
+    # ------------------------------------------------------------------ #
+    # Record-mode costs (all charged to RECORD; zero on the default
+    # configuration — two-phase mode disabled).
+    # ------------------------------------------------------------------ #
+    #: Appending one synchronization-order entry (a lock grant, a barrier
+    #: arrival, or a delivered sync message) to the in-memory record log:
+    #: a buffered append, far cheaper than any detection work.
+    record_entry: float = 12.0
+    #: Serializing one byte of the hash-framed trace file at the end of a
+    #: record run (same storage model as checkpoint writes).
+    record_flush_per_byte: float = 0.5
 
     def seconds(self, cycles: float) -> float:
         """Convert a cycle count to virtual seconds."""

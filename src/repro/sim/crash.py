@@ -190,6 +190,10 @@ class CrashStats:
     pending_crash_skips: int = 0
     #: Deaths the barrier master declared after its virtual-time timeout.
     deaths_declared: int = 0
+    #: Locks whose static manager pid was declared dead and whose
+    #: management (queue, prepared-grant state) was reassigned to the
+    #: lowest live pid during recovery/failover.
+    locks_migrated: int = 0
     #: Checkpoints written (one per node per barrier when enabled).
     checkpoints_written: int = 0
     #: Total serialized checkpoint bytes written.

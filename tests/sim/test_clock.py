@@ -60,18 +60,21 @@ def test_breakdown_with_zero_base():
 
 def test_overhead_categories_cover_everything_but_base():
     # RETRANSMIT (network robustness), RECOVERY (crash tolerance),
-    # FAILOVER (coordinator election/state migration) and SHARDED_DETECT
-    # (detection-sharding protocol traffic) are overhead outside the
-    # paper's Figure 3 taxonomy: is_overhead, but deliberately not
-    # Figure 3 categories (keeps regenerated tables byte-identical with
-    # faults, crashes, failover and sharding off).
+    # FAILOVER (coordinator election/state migration), SHARDED_DETECT
+    # (detection-sharding protocol traffic) and RECORD (two-phase
+    # record-mode trace capture) are overhead outside the paper's
+    # Figure 3 taxonomy: is_overhead, but deliberately not Figure 3
+    # categories (keeps regenerated tables byte-identical with faults,
+    # crashes, failover, sharding and record mode off).
     assert set(OVERHEAD_CATEGORIES) == \
         set(CostCategory) - {CostCategory.BASE, CostCategory.RETRANSMIT,
                              CostCategory.RECOVERY, CostCategory.FAILOVER,
-                             CostCategory.SHARDED_DETECT}
+                             CostCategory.SHARDED_DETECT,
+                             CostCategory.RECORD}
     assert all(cat.is_overhead for cat in OVERHEAD_CATEGORIES)
     for cat in (CostCategory.RETRANSMIT, CostCategory.RECOVERY,
-                CostCategory.FAILOVER, CostCategory.SHARDED_DETECT):
+                CostCategory.FAILOVER, CostCategory.SHARDED_DETECT,
+                CostCategory.RECORD):
         assert cat.is_overhead
         assert cat not in OVERHEAD_CATEGORIES
     assert not CostCategory.BASE.is_overhead
