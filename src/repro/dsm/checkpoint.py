@@ -458,6 +458,7 @@ class CheckpointManager:
                  delta: bool = False):
         self.directory = directory
         self.delta = delta
+        self._lock_fd: Optional[int] = None
         if directory is not None:
             try:
                 os.makedirs(directory, exist_ok=True)
@@ -465,10 +466,68 @@ class CheckpointManager:
                 raise CheckpointError(
                     f"cannot create checkpoint directory {directory!r}: "
                     f"{exc}") from exc
+            self._acquire_lock(directory)
         self._latest: Dict[int, NodeSnapshot] = {}
         #: Per-pid {generation: full snapshot}; populated by
         #: :meth:`load_dir` so a resumed run can restore at the common cut.
         self._history: Dict[int, Dict[int, NodeSnapshot]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Directory exclusivity.
+    # ------------------------------------------------------------------ #
+    def _acquire_lock(self, directory: str) -> None:
+        """Take an exclusive advisory lock on ``<directory>/LOCK``.
+
+        Two live runs writing one ``--checkpoint-dir`` would interleave
+        their ``ckpt_p*_g*.json`` files and silently corrupt *both* runs'
+        recovery (and a later ``--resume-from`` would restore a chimera).
+        The lock makes the collision loud: the second run is refused with
+        a :class:`~repro.errors.ConfigError` naming the run already
+        holding the directory.  ``flock`` locks follow the open file
+        description, so the guard catches same-process collisions (two
+        CVM instances in one test process) as well as concurrent fleet
+        workers in separate OS processes; it dies with the process, so a
+        crashed run never leaves the directory permanently wedged.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            return
+        from repro.errors import ConfigError
+        path = os.path.join(directory, "LOCK")
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            holder = ""
+            try:
+                holder = os.read(fd, 256).decode("utf-8", "replace").strip()
+            finally:
+                os.close(fd)
+            raise ConfigError(
+                f"checkpoint directory {directory!r} is already in use"
+                + (f" by {holder}" if holder else "")
+                + ": two runs cannot share one --checkpoint-dir (their "
+                "ckpt_p*_g*.json files would interleave and corrupt both "
+                "recoveries); give each run its own directory — the fleet "
+                "scopes each job under <spool>/ckpt/<job-id> for exactly "
+                "this reason")
+        owner = f"os-pid {os.getpid()}"
+        os.ftruncate(fd, 0)
+        os.write(fd, owner.encode("utf-8"))
+        self._lock_fd = fd
+
+    def close(self) -> None:
+        """Release the directory lock (idempotent).  Called when the
+        owning run finishes; the LOCK file itself is left behind — the
+        next run re-locks and rewrites it, and ``load_dir`` ignores any
+        file not matching the checkpoint name pattern."""
+        if self._lock_fd is not None:
+            try:
+                os.close(self._lock_fd)
+            except OSError:  # pragma: no cover - double close is harmless
+                pass
+            self._lock_fd = None
 
     def take(self, node: "Node", store: "IntervalStore",
              generation: int,

@@ -176,6 +176,14 @@ class DsmConfig:
             (``--trace-file``): written by ``--mode record``, read by
             ``--mode detect-offline``.  Required by both, rejected with
             ``"online"``.
+        deadline_seconds: Wall-clock budget for the whole run
+            (``--deadline``).  When the dispatcher loop observes the
+            budget exceeded it raises
+            :class:`~repro.errors.DeadlineExceeded` (CLI exit code 4)
+            instead of hanging forever — the guard the fleet's per-job
+            deadline builds on.  Purely wall-clock: a run that finishes
+            in time is byte-identical to one with no deadline.  ``None``
+            (default) disables the guard.
         cost_model: Cycle costs for virtual time.
         track_access_trace: Record every shared access for the baseline
             (oracle) detectors; expensive, test-scale inputs only.
@@ -219,6 +227,7 @@ class DsmConfig:
     resume_from: Optional[str] = None
     mode: str = "online"
     trace_file: Optional[str] = None
+    deadline_seconds: Optional[float] = None
     cost_model: CostModel = field(default_factory=CostModel)
     track_access_trace: bool = False
     #: Retain every transport message for inspection (tests/debugging).
@@ -249,13 +258,18 @@ class DsmConfig:
             raise ValueError("crash_detect_timeout must be positive")
         if self.election_timeout <= 0:
             raise ValueError("election_timeout must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds (--deadline) must be positive: "
+                f"{self.deadline_seconds}")
         if self.detection_shards < 0:
             raise ValueError(
                 f"detection_shards must be >= 0: {self.detection_shards}")
         if self.detection_shards > 0 and not self.sharded_detection:
-            raise ValueError(
-                "detection_shards requires sharded detection "
-                "(--sharded-detection / DsmConfig.sharded_detection)")
+            raise ConfigError(
+                "--detection-shards requires sharded detection "
+                "(--sharded-detection / DsmConfig.sharded_detection); "
+                "enable it or drop the shard cap")
         self.crash_at = tuple(sorted(set(
             (int(pid), int(gen)) for pid, gen in self.crash_at)))
         for pid, gen in self.crash_at:
@@ -263,10 +277,10 @@ class DsmConfig:
                 raise ValueError(
                     f"crash_at pid {pid} out of range for nprocs={self.nprocs}")
             if pid == 0 and not self.master_failover:
-                raise ValueError(
-                    "crash_at cannot target P0: the barrier master runs the "
-                    "detector and cannot crash unless master failover is "
-                    "enabled (--master-failover)")
+                raise ConfigError(
+                    "--crash-at cannot target P0: the barrier master runs "
+                    "the detector and cannot crash unless master failover "
+                    "is enabled (--master-failover)")
             if pid == 0 and self.nprocs < 2:
                 raise ValueError(
                     "crash_at cannot target P0 with nprocs=1: no surviving "

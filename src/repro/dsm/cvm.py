@@ -140,7 +140,9 @@ class CVM:
 
     def __init__(self, config: DsmConfig):
         self.config = config
-        self.scheduler = Scheduler(policy=make_policy(config.policy, config.seed))
+        self.scheduler = Scheduler(
+            policy=make_policy(config.policy, config.seed),
+            deadline_seconds=config.deadline_seconds)
         self.sizer = WireSizer(config.nprocs, config.page_size_words)
         self.transport = Transport(config.cost_model,
                                    max_datagram=config.max_datagram,
@@ -196,9 +198,6 @@ class CVM:
         self.crash_stats = CrashStats()
         self.sharding_stats = ShardingStats()
         self.checkpoints: Optional[CheckpointManager] = None
-        if config.checkpointing_enabled:
-            self.checkpoints = CheckpointManager(config.checkpoint_dir,
-                                                 delta=config.checkpoint_delta)
         # Cross-run resume (--resume-from): re-execute deterministically
         # and, at the barrier generation the directory covers for every
         # node, validate and reinstall each node's state from the restored
@@ -258,6 +257,14 @@ class CVM:
             self.lock_order = enforcer
             self.barrier_state.order_hook = enforcer.on_barrier_arrival
             self.net.delivery_hook = enforcer.on_delivery
+        # Created last: with a persistent directory the manager takes an
+        # exclusive advisory lock on it (two live runs sharing one
+        # --checkpoint-dir would interleave ckpt files and corrupt both
+        # recoveries), and nothing above must be able to fail while the
+        # lock is held.  Released in run()'s finally clause.
+        if config.checkpointing_enabled:
+            self.checkpoints = CheckpointManager(config.checkpoint_dir,
+                                                 delta=config.checkpoint_delta)
         self._ran = False
 
     def _make_detector(self, master_pid: int) -> Optional[RaceDetector]:
@@ -289,37 +296,43 @@ class CVM:
         if self._ran:
             raise SynchronizationError("a CVM instance runs one application once")
         self._ran = True
-        app_name = getattr(app, "__name__", repr(app))
-        if self.trace_enforcer is not None:
-            self._verify_trace_header(app_name)
-        for pid in range(self.config.nprocs):
-            proc = self.scheduler.spawn(self._proc_main, app, pid, args)
-            self.nodes.append(Node(pid, self.config, proc.clock, self.store))
-        if self.coordinator.failover:
-            # Initial role journal (the analogue of the generation-0 node
-            # checkpoints): a coordinator death before the first barrier
-            # migrates the pre-application detector state.
-            self.coordinator.journal_state(
-                self.nodes[self.coordinator.pid].clock,
-                self.config.cost_model)
-        if self._resume_mgr is not None and self._resume_gen == 0:
-            # Resuming at the pre-application cut: install before the
-            # generation-0 checkpoints re-record the (identical) state.
-            for node in self.nodes:
-                self._install_resume(node)
-        if self.checkpoints is not None:
-            # Initial checkpoints (barrier generation 0): every node can be
-            # recovered even if it dies before the first barrier.
-            for node in self.nodes:
-                self._take_checkpoint(node, generation=0)
-        self.scheduler.run()
-        if self.trace_recorder is not None:
-            self._flush_trace(app_name)
-        elif self.trace_enforcer is not None:
-            # A replay that finished without consuming the whole trace
-            # means the executions disagree — fail, don't under-report.
-            self.trace_enforcer.check_fully_consumed()
-        return self._collect()
+        try:
+            app_name = getattr(app, "__name__", repr(app))
+            if self.trace_enforcer is not None:
+                self._verify_trace_header(app_name)
+            for pid in range(self.config.nprocs):
+                proc = self.scheduler.spawn(self._proc_main, app, pid, args)
+                self.nodes.append(Node(pid, self.config, proc.clock, self.store))
+            if self.coordinator.failover:
+                # Initial role journal (the analogue of the generation-0 node
+                # checkpoints): a coordinator death before the first barrier
+                # migrates the pre-application detector state.
+                self.coordinator.journal_state(
+                    self.nodes[self.coordinator.pid].clock,
+                    self.config.cost_model)
+            if self._resume_mgr is not None and self._resume_gen == 0:
+                # Resuming at the pre-application cut: install before the
+                # generation-0 checkpoints re-record the (identical) state.
+                for node in self.nodes:
+                    self._install_resume(node)
+            if self.checkpoints is not None:
+                # Initial checkpoints (barrier generation 0): every node can
+                # be recovered even if it dies before the first barrier.
+                for node in self.nodes:
+                    self._take_checkpoint(node, generation=0)
+            self.scheduler.run()
+            if self.trace_recorder is not None:
+                self._flush_trace(app_name)
+            elif self.trace_enforcer is not None:
+                # A replay that finished without consuming the whole trace
+                # means the executions disagree — fail, don't under-report.
+                self.trace_enforcer.check_fully_consumed()
+            return self._collect()
+        finally:
+            # Release the checkpoint directory's exclusive lock so a later
+            # run (same process or not) can legitimately reuse it.
+            if self.checkpoints is not None:
+                self.checkpoints.close()
 
     # ------------------------------------------------------------------ #
     # Two-phase pipeline plumbing (--mode record / --mode detect-offline).

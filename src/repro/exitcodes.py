@@ -1,0 +1,48 @@
+"""Process exit codes of the single-run CLI (and fleet workers).
+
+The mapping lets any shell caller — CI scripts, the fleet supervisor, a
+cron wrapper — classify a run's outcome without parsing stdout:
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     clean run, no data races detected
+1     run completed and data races were found (the product, not
+      an error — mirrors ``grep``)
+2     configuration error: the flag combination or input can
+      never work; retrying is pointless
+3     runtime failure or degraded result (crash, protocol error,
+      replay divergence, unreadable trace...); possibly transient
+4     wall-clock deadline exceeded (``--deadline``)
+====  =========================================================
+
+The fleet supervisor's retry policy keys off exactly these classes:
+2 is permanently-failed, 3 and 4 are retried with backoff, and a worker
+killed by a signal (negative returncode) counts toward the poison cap.
+"""
+
+from __future__ import annotations
+
+EXIT_CLEAN = 0
+EXIT_RACES = 1
+EXIT_CONFIG = 2
+EXIT_RUNTIME = 3
+EXIT_TIMEOUT = 4
+
+
+def classify_exception(exc: BaseException) -> int:
+    """Exit code for an exception escaping a run.
+
+    Order matters: :class:`~repro.errors.DeadlineExceeded` and
+    :class:`~repro.errors.ConfigError` are both ``ReproError`` subclasses
+    and must win over the generic runtime class; plain ``ValueError``
+    covers :class:`~repro.dsm.config.DsmConfig`'s scalar validation.
+    """
+    from repro.errors import ConfigError, DeadlineExceeded, ReproError
+    if isinstance(exc, DeadlineExceeded):
+        return EXIT_TIMEOUT
+    if isinstance(exc, (ConfigError, ValueError)):
+        return EXIT_CONFIG
+    if isinstance(exc, ReproError):
+        return EXIT_RUNTIME
+    return EXIT_RUNTIME

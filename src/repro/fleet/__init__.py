@@ -1,0 +1,34 @@
+"""Fleet mode: a supervised, crash-tolerant detection service.
+
+The fleet multiplexes many detection runs (app × config × seed × mode)
+onto a pool of supervised worker subprocesses.  See
+``docs/robustness.md`` for the supervision tree, retry/poison policy,
+and journal-recovery story; the pieces are:
+
+* :mod:`repro.fleet.job` — the schedulable job model + framed payloads
+* :mod:`repro.fleet.queue` — bounded priority admission queue
+* :mod:`repro.fleet.placement` — sized-slot worker-pool placement
+* :mod:`repro.fleet.worker` — one-job subprocess entry point
+* :mod:`repro.fleet.journal` — append-only framed state journal
+* :mod:`repro.fleet.spool` — on-disk client/service contract
+* :mod:`repro.fleet.aggregate` — cross-run dedup / flake / rate report
+* :mod:`repro.fleet.supervisor` — the ``fleet serve`` service loop
+"""
+
+from repro.fleet.aggregate import build_aggregate, render_aggregate
+from repro.fleet.job import (JOB_FORMAT_VERSION, PRIORITY_CLASSES,
+                             PROCS_PER_SLOT, JobSpec)
+from repro.fleet.journal import FleetJournal
+from repro.fleet.placement import Placement, SlotPool
+from repro.fleet.queue import DEFAULT_QUEUE_LIMIT, JobQueue
+from repro.fleet.spool import (FleetSpool, JobRecord, fold_journal,
+                               status_text)
+from repro.fleet.supervisor import FleetService
+
+__all__ = [
+    "JOB_FORMAT_VERSION", "PRIORITY_CLASSES", "PROCS_PER_SLOT",
+    "JobSpec", "FleetJournal", "Placement", "SlotPool",
+    "DEFAULT_QUEUE_LIMIT", "JobQueue", "FleetSpool", "JobRecord",
+    "fold_journal", "status_text", "build_aggregate", "render_aggregate",
+    "FleetService",
+]

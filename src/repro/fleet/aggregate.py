@@ -1,0 +1,147 @@
+"""Cross-run aggregation: dedup, flake ranking, per-app race rates.
+
+The aggregate is the fleet's product: one report over a whole queue of
+runs.  Its inputs are only *deterministic* data — each job's spec, its
+terminal state, and its worker-written result payload (which carries no
+wall-clock or host state) — so the report is byte-identical whether the
+queue executed uninterrupted or limped through worker crashes, retries,
+and a service kill + ``serve --resume``.  That identity is the
+acceptance check for the whole robustness story, so nothing
+time-dependent may ever be added here.
+
+Dedup works on *race sites* — (kind, symbol, addr) — rather than full
+report lines: the lines embed interval indexes and epochs, which
+legitimately differ across scheduling seeds, while the site names the
+buggy variable the same way in every interleaving.  A site seen in only
+some of an app's detection runs is *flaky* — scheduling-dependent — and
+the flake ranking orders sites by hit rate ascending so the hardest-to-
+reproduce races lead the list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bump when the aggregate payload schema changes incompatibly.
+AGGREGATE_FORMAT_VERSION = 1
+
+#: Terminal states in which a job contributes results.
+COMPLETED_STATES = ("done", "races")
+
+
+def build_aggregate(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-job entries into the canonical aggregate payload.
+
+    Each entry is ``{"job_id", "app", "mode", "nprocs", "seed", "state",
+    "attempts", "result"}`` where ``result`` is the worker's payload (or
+    ``None`` for jobs that never completed).  ``attempts`` is excluded
+    from the payload on purpose: it varies with crash timing.
+    """
+    entries = sorted(entries, key=lambda e: e["job_id"])
+
+    jobs_rows = []
+    state_counts: Dict[str, int] = {}
+    for e in entries:
+        state_counts[e["state"]] = state_counts.get(e["state"], 0) + 1
+        result = e.get("result")
+        jobs_rows.append({
+            "job_id": e["job_id"], "app": e["app"], "mode": e["mode"],
+            "nprocs": e["nprocs"], "seed": e["seed"], "state": e["state"],
+            "races": len(result["races"]) if result else None,
+            "unverifiable": result["unverifiable"] if result else None,
+        })
+
+    # Detection runs only: record-mode jobs log sync order, they do not
+    # detect, so they must not dilute the race-rate denominators.
+    detect = [e for e in entries
+              if e["mode"] != "record" and e["state"] in COMPLETED_STATES
+              and e.get("result")]
+
+    # app -> site -> sorted list of job_ids that reported it.
+    sites: Dict[str, Dict[Tuple[str, str, int], List[str]]] = {}
+    runs_per_app: Dict[str, int] = {}
+    racy_runs_per_app: Dict[str, int] = {}
+    for e in detect:
+        app = e["app"]
+        runs_per_app[app] = runs_per_app.get(app, 0) + 1
+        result = e["result"]
+        if result["races"]:
+            racy_runs_per_app[app] = racy_runs_per_app.get(app, 0) + 1
+        for kind, symbol, addr in result["race_sites"]:
+            key = (kind, symbol, int(addr))
+            sites.setdefault(app, {}).setdefault(key, []).append(e["job_id"])
+
+    site_rows = []
+    for app in sorted(sites):
+        runs = runs_per_app[app]
+        for (kind, symbol, addr), hit_jobs in sorted(sites[app].items()):
+            seeds = sorted({e["seed"] for e in detect
+                            if e["app"] == app and e["job_id"] in hit_jobs})
+            site_rows.append({
+                "app": app, "kind": kind, "symbol": symbol, "addr": addr,
+                "hits": len(hit_jobs), "runs": runs,
+                "seeds": seeds,
+                "flaky": len(hit_jobs) < runs,
+            })
+
+    # Flake ranking: lowest hit rate first — the races a single run is
+    # most likely to miss — then stable (app, symbol, addr) order.
+    flake_rows = sorted(
+        site_rows,
+        key=lambda r: (r["hits"] / r["runs"], r["app"], r["symbol"],
+                       r["addr"]))
+
+    rate_rows = []
+    for app in sorted(runs_per_app):
+        runs = runs_per_app[app]
+        racy = racy_runs_per_app.get(app, 0)
+        rate_rows.append({
+            "app": app, "detect_runs": runs, "racy_runs": racy,
+            "distinct_sites": len(sites.get(app, {})),
+            "race_rate": racy / runs,
+        })
+
+    return {
+        "version": AGGREGATE_FORMAT_VERSION,
+        "jobs": jobs_rows,
+        "state_counts": dict(sorted(state_counts.items())),
+        "sites": flake_rows,
+        "race_rates": rate_rows,
+    }
+
+
+def render_aggregate(payload: Dict[str, Any]) -> str:
+    """Human-readable aggregate (also the byte-compared artifact)."""
+    from repro.harness.format import render_table
+    out = []
+    out.append(render_table(
+        "Fleet jobs",
+        ["job", "app", "mode", "nprocs", "seed", "state", "races",
+         "unverifiable"],
+        [[r["job_id"], r["app"], r["mode"], r["nprocs"], r["seed"],
+          r["state"],
+          "-" if r["races"] is None else r["races"],
+          "-" if r["unverifiable"] is None else r["unverifiable"]]
+         for r in payload["jobs"]]))
+    out.append("")
+    states = ", ".join(f"{state}={count}" for state, count
+                       in payload["state_counts"].items()) or "none"
+    out.append(f"terminal states: {states}")
+    out.append("")
+    out.append(render_table(
+        "Race sites (deduplicated across seeds; flake-ranked, "
+        "rarest first)",
+        ["app", "kind", "symbol", "addr", "hits", "runs", "rate",
+         "seeds"],
+        [[r["app"], r["kind"], r["symbol"], r["addr"], r["hits"],
+          r["runs"], f"{r['hits'] / r['runs']:.2f}",
+          ",".join(str(s) for s in r["seeds"])]
+         for r in payload["sites"]]))
+    out.append("")
+    out.append(render_table(
+        "Per-app race rate",
+        ["app", "detect runs", "racy runs", "distinct sites", "rate"],
+        [[r["app"], r["detect_runs"], r["racy_runs"],
+          r["distinct_sites"], f"{r['race_rate']:.2f}"]
+         for r in payload["race_rates"]]))
+    return "\n".join(out) + "\n"

@@ -1,0 +1,135 @@
+"""Sized-slot placement: packing jobs onto the worker pool.
+
+Follows the ``ob74`` Application/Kernel-placement idiom (SNIPPETS.md
+snippets 1-2): resources are a fixed row of *slots*, each schedulable
+unit has a *size* (a 2x2 kernel there, ``ceil(nprocs / 8)`` worker slots
+here), placements name explicit locations, and every mutation is
+validated against the pool's invariants — no overlap, in bounds,
+release-what-you-placed — so a placement bug is a loud error at the
+placement layer instead of a mysterious oversubscription three layers up.
+
+A job that does not currently fit is *not* an error: it waits in the
+queue until running jobs release slots.  A job larger than the whole
+pool can never fit and IS an error, raised at placement-plan time so the
+supervisor classifies it permanently-failed instead of letting it camp
+at the head of the queue forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import FleetError
+from repro.fleet.job import JobSpec
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A job's validated location on the pool: slots
+    ``[start, start + size)``."""
+
+    job_id: str
+    start: int
+    size: int
+
+    @property
+    def slots(self) -> range:
+        return range(self.start, self.start + self.size)
+
+
+class SlotPool:
+    """A fixed row of worker slots with explicit, validated occupancy."""
+
+    def __init__(self, total_slots: int):
+        if total_slots < 1:
+            raise ValueError(f"total_slots must be >= 1: {total_slots}")
+        self.total_slots = total_slots
+        #: slot index -> job_id occupying it (absent = free).
+        self._occupancy: Dict[int, str] = {}
+        self._placements: Dict[str, Placement] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+    @property
+    def free_slots(self) -> int:
+        return self.total_slots - len(self._occupancy)
+
+    def placements(self) -> List[Placement]:
+        return [self._placements[jid] for jid in sorted(self._placements)]
+
+    # ------------------------------------------------------------------ #
+    # Placement.
+    # ------------------------------------------------------------------ #
+    def fit(self, job: JobSpec) -> Optional[Placement]:
+        """The lowest-indexed contiguous free block that fits ``job``,
+        or ``None`` if the job must wait.  Raises :class:`FleetError`
+        for a job that can never fit on this pool."""
+        size = job.slots
+        if size > self.total_slots:
+            raise FleetError(
+                f"job {job.job_id!r} needs {size} slot(s) "
+                f"(nprocs={job.nprocs}) but the pool only has "
+                f"{self.total_slots}; enlarge --slots or shrink the job")
+        run = 0
+        for idx in range(self.total_slots):
+            run = run + 1 if idx not in self._occupancy else 0
+            if run == size:
+                return Placement(job.job_id, idx - size + 1, size)
+        return None
+
+    def occupy(self, placement: Placement) -> None:
+        """Install a placement, validating bounds and overlap."""
+        if placement.job_id in self._placements:
+            raise FleetError(
+                f"job {placement.job_id!r} is already placed at slots "
+                f"{list(self._placements[placement.job_id].slots)}")
+        if placement.start < 0 or \
+                placement.start + placement.size > self.total_slots:
+            raise FleetError(
+                f"placement of {placement.job_id!r} at "
+                f"[{placement.start}, {placement.start + placement.size}) "
+                f"is out of bounds for a {self.total_slots}-slot pool")
+        taken = [idx for idx in placement.slots if idx in self._occupancy]
+        if taken:
+            holders = sorted({self._occupancy[idx] for idx in taken})
+            raise FleetError(
+                f"placement of {placement.job_id!r} overlaps slot(s) "
+                f"{taken} held by {holders}")
+        for idx in placement.slots:
+            self._occupancy[idx] = placement.job_id
+        self._placements[placement.job_id] = placement
+
+    def place(self, job: JobSpec) -> Optional[Placement]:
+        """Fit + occupy in one step (the supervisor's scheduling call)."""
+        placement = self.fit(job)
+        if placement is not None:
+            self.occupy(placement)
+        return placement
+
+    def release(self, job_id: str) -> None:
+        """Free a job's slots; releasing an unplaced job is an error
+        (it would mask double-release bugs in the supervisor)."""
+        placement = self._placements.pop(job_id, None)
+        if placement is None:
+            raise FleetError(f"job {job_id!r} holds no placement")
+        for idx in placement.slots:
+            del self._occupancy[idx]
+
+    def validate(self) -> None:
+        """Invariant check (used by tests and after recovery): occupancy
+        and placements must describe the same, overlap-free picture."""
+        seen: Dict[int, str] = {}
+        for jid, placement in self._placements.items():
+            if jid != placement.job_id:
+                raise FleetError(f"placement key {jid!r} names "
+                                 f"{placement.job_id!r}")
+            for idx in placement.slots:
+                if idx in seen:
+                    raise FleetError(
+                        f"slot {idx} claimed by both {seen[idx]!r} "
+                        f"and {jid!r}")
+                seen[idx] = jid
+        if seen != self._occupancy:
+            raise FleetError("occupancy map disagrees with placements")

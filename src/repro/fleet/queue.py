@@ -1,0 +1,83 @@
+"""Bounded, priority-classed admission queue for fleet jobs.
+
+Admission control is the fleet's first robustness layer: the queue is
+*bounded*, and a submission past the bound is refused with a loud
+:class:`~repro.errors.AdmissionError` — backpressure, not a crash.  (The
+CLI's file-based spool adds a second layer: ``fleet submit`` refuses to
+spool past the limit, and pending files the service has no queue room for
+simply stay in the spool until a slot frees up.)
+
+Ordering is (priority class, submission order): ``record`` jobs — the
+cheap always-on production tier — preempt ``detect-offline`` replays,
+which preempt full ``online`` detection runs.  Within a class the queue
+is FIFO, so no job starves its own tier.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.errors import AdmissionError
+from repro.fleet.job import JobSpec
+
+#: Default admission bound of both the in-memory queue and the CLI spool.
+DEFAULT_QUEUE_LIMIT = 64
+
+
+class JobQueue:
+    """Priority queue with a hard admission bound."""
+
+    def __init__(self, limit: int = DEFAULT_QUEUE_LIMIT):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1: {limit}")
+        self.limit = limit
+        self._heap: List[Tuple[int, int, JobSpec]] = []
+        self._counter = 0
+        #: Total rejections, for the service's stats line.
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.limit
+
+    def push(self, job: JobSpec) -> None:
+        """Admit a job or raise :class:`AdmissionError` (backpressure)."""
+        if self.full:
+            self.rejected += 1
+            raise AdmissionError(job.job_id, self.limit)
+        heapq.heappush(self._heap, (job.priority, self._counter, job))
+        self._counter += 1
+
+    def pop(self) -> JobSpec:
+        """Highest-priority (then oldest) job; raises ``IndexError`` when
+        empty — callers check :meth:`__len__` first."""
+        _, _, job = heapq.heappop(self._heap)
+        return job
+
+    def peek(self) -> Optional[JobSpec]:
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def jobs(self) -> List[JobSpec]:
+        """Queued jobs in dispatch order (non-destructive)."""
+        return [job for _, _, job in sorted(self._heap)]
+
+    def remove(self, job_id: str) -> JobSpec:
+        """Take a specific queued job (backfill scheduling: the
+        supervisor may start a later job whose slots fit while the
+        head-of-line job waits for a larger block).  Original submission
+        counters are preserved, so relative order never churns."""
+        for i, (_, _, job) in enumerate(self._heap):
+            if job.job_id == job_id:
+                entry = self._heap[i]
+                self._heap[i] = self._heap[-1]
+                self._heap.pop()
+                if i < len(self._heap):
+                    heapq.heapify(self._heap)
+                return entry[2]
+        raise KeyError(job_id)

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import (DeadlockError, NodeCrashed, ProcessFailure,
-                          SimulationError)
+from repro.errors import (DeadlineExceeded, DeadlockError, NodeCrashed,
+                          ProcessFailure, SimulationError)
 from repro.sim.clock import VirtualClock
 from repro.sim.policy import RoundRobinPolicy, SchedulingPolicy
 
@@ -77,9 +78,15 @@ class Scheduler:
     _DISPATCHER = None  # token value meaning "dispatcher's turn"
 
     def __init__(self, policy: Optional[SchedulingPolicy] = None,
-                 max_switches: int = 50_000_000):
+                 max_switches: int = 50_000_000,
+                 deadline_seconds: Optional[float] = None):
         self.policy = policy or RoundRobinPolicy()
         self.max_switches = max_switches
+        #: Wall-clock budget for the whole run (``--deadline``); ``None``
+        #: disables the guard.  Checked in the dispatcher loop so the
+        #: abort happens while the dispatcher holds the token — the
+        #: process threads unwind quietly via the shutdown path.
+        self.deadline_seconds = deadline_seconds
         self.processes: Dict[int, SimProcess] = {}
         self.switches = 0
         self._cv = threading.Condition()
@@ -118,8 +125,15 @@ class Scheduler:
             proc.thread.start()
 
         last: Optional[int] = None
+        started_at = time.monotonic()
         try:
             while True:
+                if (self.deadline_seconds is not None
+                        and self.switches % 256 == 0):
+                    elapsed = time.monotonic() - started_at
+                    if elapsed > self.deadline_seconds:
+                        raise DeadlineExceeded(self.deadline_seconds,
+                                               elapsed, self.switches)
                 ready = [p.pid for p in self.processes.values()
                          if p.state is ProcState.READY]
                 if not ready:

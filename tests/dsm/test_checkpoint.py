@@ -37,7 +37,8 @@ def _run_with_checkpoints(name, tmp_path):
 @pytest.mark.parametrize("name", ALL_APPS)
 def test_roundtrip_idempotent_every_app(name, tmp_path):
     cfg, ckdir = _run_with_checkpoints(name, tmp_path)
-    files = sorted(os.listdir(ckdir))
+    # The manager's exclusivity LOCK lives alongside the snapshots.
+    files = sorted(f for f in os.listdir(ckdir) if f.startswith("ckpt_"))
     assert files, "run wrote no checkpoints"
     by_pid = {}
     for fname in files:
@@ -66,7 +67,8 @@ def test_roundtrip_idempotent_every_app(name, tmp_path):
 
 def test_roundtrip_serialization_is_canonical(tmp_path):
     _cfg, ckdir = _run_with_checkpoints("sor", tmp_path)
-    path = os.path.join(ckdir, sorted(os.listdir(ckdir))[0])
+    path = os.path.join(ckdir, sorted(
+        f for f in os.listdir(ckdir) if f.startswith("ckpt_"))[0])
     snap = CheckpointManager.load_snapshot(path)
     # serialize -> parse -> serialize is a fixpoint (sorted keys, no
     # whitespace), so nbytes is deterministic.
@@ -117,6 +119,8 @@ def test_manager_load_dir_picks_latest_generation(tmp_path):
     loaded = CheckpointManager.load_dir(ckdir)
     gens = {}
     for fname in os.listdir(ckdir):
+        if not fname.startswith("ckpt_"):
+            continue  # the manager's exclusivity LOCK
         pid = int(fname.split("_")[1][1:])
         gen = int(fname.split("_g")[1].split(".")[0])
         gens[pid] = max(gens.get(pid, -1), gen)

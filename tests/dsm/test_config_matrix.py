@@ -1,0 +1,121 @@
+"""DsmConfig flag-conflict matrix.
+
+Every illegal flag combination must be rejected at construction with a
+:class:`~repro.errors.ConfigError` whose message names the conflicting
+flags — a user who composed two features that cannot compose should be
+told *which two*, not handed a traceback from three layers down.  The
+matrix axes: mode × crash injection × resume × trace-file × sharding ×
+failover (plus the scalar guards the CLI exposes).
+"""
+
+import pytest
+
+from repro.dsm.config import DsmConfig
+from repro.errors import ConfigError
+
+# (description, config kwargs, [substrings the error must name])
+CONFLICTS = [
+    ("record without trace file",
+     dict(mode="record"),
+     ["--mode record", "--trace-file"]),
+    ("detect-offline without trace file",
+     dict(mode="detect-offline"),
+     ["--mode detect-offline", "--trace-file"]),
+    ("trace file with online mode",
+     dict(trace_file="/tmp/t.log"),
+     ["--trace-file", "online"]),
+    ("unknown mode",
+     dict(mode="turbo"),
+     ["--mode", "turbo"]),
+    ("record with random crashes",
+     dict(mode="record", trace_file="/tmp/t.log", crash_rate=0.01),
+     ["--mode record", "--crash-rate"]),
+    ("record with scheduled crash",
+     dict(mode="record", trace_file="/tmp/t.log", crash_at=((1, 0),)),
+     ["--mode record", "--crash-at"]),
+    ("detect-offline with random crashes",
+     dict(mode="detect-offline", trace_file="/tmp/t.log",
+          crash_rate=0.01),
+     ["--mode detect-offline", "--crash-rate"]),
+    ("detect-offline with scheduled crash",
+     dict(mode="detect-offline", trace_file="/tmp/t.log",
+          crash_at=((1, 0),)),
+     ["--mode detect-offline", "--crash-at"]),
+    ("record with resume",
+     dict(mode="record", trace_file="/tmp/t.log", resume_from="/tmp/ck"),
+     ["--mode record", "--resume-from"]),
+    ("detect-offline with resume",
+     dict(mode="detect-offline", trace_file="/tmp/t.log",
+          resume_from="/tmp/ck"),
+     ["--mode detect-offline", "--resume-from"]),
+    ("shard cap without sharding",
+     dict(detection_shards=2),
+     ["--detection-shards", "--sharded-detection"]),
+    ("master crash without failover",
+     dict(crash_at=((0, 1),), nprocs=4),
+     ["--crash-at", "--master-failover"]),
+]
+
+
+@pytest.mark.parametrize(
+    "kwargs,must_name",
+    [c[1:] for c in CONFLICTS], ids=[c[0] for c in CONFLICTS])
+def test_conflicts_raise_config_error_naming_both_flags(kwargs, must_name):
+    with pytest.raises(ConfigError) as exc_info:
+        DsmConfig(**kwargs)
+    message = str(exc_info.value)
+    for flag in must_name:
+        assert flag in message, \
+            f"error message {message!r} does not name {flag!r}"
+
+
+@pytest.mark.parametrize(
+    "kwargs,must_name",
+    [c[1:] for c in CONFLICTS], ids=[c[0] for c in CONFLICTS])
+def test_conflicts_also_catchable_as_value_error(kwargs, must_name):
+    # ConfigError subclasses ValueError: broad validators keep working.
+    with pytest.raises(ValueError):
+        DsmConfig(**kwargs)
+
+
+LEGAL = [
+    ("record with trace",
+     dict(mode="record", trace_file="/tmp/t.log")),
+    ("detect-offline with trace",
+     dict(mode="detect-offline", trace_file="/tmp/t.log")),
+    ("record over a lossy network",
+     dict(mode="record", trace_file="/tmp/t.log", loss_rate=0.05)),
+    ("record with sharding flags",
+     dict(mode="record", trace_file="/tmp/t.log",
+          sharded_detection=True, detection_shards=2)),
+    ("detect-offline with failover",
+     dict(mode="detect-offline", trace_file="/tmp/t.log",
+          master_failover=True)),
+    ("crashes with failover targeting master",
+     dict(crash_at=((0, 1),), master_failover=True, nprocs=4)),
+    ("sharding with cap",
+     dict(sharded_detection=True, detection_shards=3)),
+    ("online with deadline",
+     dict(deadline_seconds=5.0)),
+    ("record with checkpointing",
+     dict(mode="record", trace_file="/tmp/t.log", checkpoint=True)),
+]
+
+
+@pytest.mark.parametrize(
+    "kwargs", [c[1] for c in LEGAL], ids=[c[0] for c in LEGAL])
+def test_legal_compositions_construct(kwargs):
+    cfg = DsmConfig(**kwargs)
+    assert cfg.nprocs >= 1
+
+
+def test_record_mode_forces_detection_off():
+    cfg = DsmConfig(mode="record", trace_file="/tmp/t.log",
+                    detection=True)
+    assert cfg.detection is False
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_deadline_must_be_positive(bad):
+    with pytest.raises(ValueError, match="--deadline"):
+        DsmConfig(deadline_seconds=bad)

@@ -1,0 +1,94 @@
+"""Aggregate report: dedup across seeds, flake ranking, determinism."""
+
+from repro.fleet.aggregate import build_aggregate, render_aggregate
+
+
+def entry(job_id, app="tsp", mode="online", seed=0, state="races",
+          sites=(), races=None):
+    result = None
+    if state in ("done", "races"):
+        site_list = [list(s) for s in sites]
+        result = {
+            "races": races if races is not None
+            else [f"DATA RACE line {i}" for i in range(len(site_list))],
+            "race_sites": site_list,
+            "unverifiable": 0,
+        }
+    return {"job_id": job_id, "app": app, "mode": mode, "nprocs": 4,
+            "seed": seed, "state": state, "result": result}
+
+
+SITE_A = ("read-write", "tsp_bound", 128)
+SITE_B = ("write-write", "tsp_len", 130)
+
+
+def test_dedup_across_seeds():
+    agg = build_aggregate([
+        entry("job-000000", seed=0, sites=[SITE_A]),
+        entry("job-000001", seed=1, sites=[SITE_A]),
+        entry("job-000002", seed=2, sites=[SITE_A, SITE_B]),
+    ])
+    assert len(agg["sites"]) == 2  # not 4: SITE_A dedups across seeds
+    by_symbol = {r["symbol"]: r for r in agg["sites"]}
+    assert by_symbol["tsp_bound"]["hits"] == 3
+    assert by_symbol["tsp_bound"]["seeds"] == [0, 1, 2]
+    assert by_symbol["tsp_bound"]["flaky"] is False
+    assert by_symbol["tsp_len"]["hits"] == 1
+    assert by_symbol["tsp_len"]["flaky"] is True
+
+
+def test_flake_ranking_rarest_first():
+    agg = build_aggregate([
+        entry("job-000000", seed=0, sites=[SITE_A]),
+        entry("job-000001", seed=1, sites=[SITE_A, SITE_B]),
+        entry("job-000002", seed=2, sites=[SITE_A]),
+    ])
+    assert [r["symbol"] for r in agg["sites"]] == ["tsp_len", "tsp_bound"]
+
+
+def test_record_jobs_excluded_from_race_stats():
+    agg = build_aggregate([
+        entry("job-000000", mode="record", state="done", sites=[],
+              races=[]),
+        entry("job-000001", mode="online", seed=0, sites=[SITE_A]),
+    ])
+    assert agg["race_rates"] == [{
+        "app": "tsp", "detect_runs": 1, "racy_runs": 1,
+        "distinct_sites": 1, "race_rate": 1.0}]
+
+
+def test_failed_jobs_appear_without_results():
+    agg = build_aggregate([
+        entry("job-000000", state="poisoned"),
+        entry("job-000001", state="failed"),
+        entry("job-000002", seed=0, sites=[SITE_A]),
+    ])
+    assert agg["state_counts"] == {"failed": 1, "poisoned": 1, "races": 1}
+    rows = {r["job_id"]: r for r in agg["jobs"]}
+    assert rows["job-000000"]["races"] is None
+    assert rows["job-000002"]["races"] == 1
+
+
+def test_per_app_race_rate():
+    agg = build_aggregate([
+        entry("job-000000", app="fft", state="done", sites=[], races=[]),
+        entry("job-000001", app="tsp", seed=0, sites=[SITE_A]),
+        entry("job-000002", app="tsp", seed=1, state="done", sites=[],
+              races=[]),
+    ])
+    rates = {r["app"]: r for r in agg["race_rates"]}
+    assert rates["fft"]["race_rate"] == 0.0
+    assert rates["tsp"]["race_rate"] == 0.5
+    assert rates["tsp"]["distinct_sites"] == 1
+
+
+def test_render_and_payload_deterministic():
+    entries = [
+        entry("job-000001", seed=1, sites=[SITE_A]),
+        entry("job-000000", seed=0, sites=[SITE_A, SITE_B]),
+    ]
+    a = build_aggregate(list(entries))
+    b = build_aggregate(list(reversed(entries)))
+    assert a == b  # input order never leaks into the payload
+    assert render_aggregate(a) == render_aggregate(b)
+    assert "Fleet jobs" in render_aggregate(a)

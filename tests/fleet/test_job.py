@@ -1,0 +1,96 @@
+"""Job model: validation, priority classes, slot sizing, framed payloads."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.job import (JobSpec, PRIORITY_CLASSES, PROCS_PER_SLOT,
+                             frame_payload, parse_framed_payload)
+
+
+def make_job(**kw):
+    base = dict(job_id="job-000000", app="fft")
+    base.update(kw)
+    return JobSpec(**base)
+
+
+def test_priority_classes_order_record_first():
+    assert PRIORITY_CLASSES["record"] < PRIORITY_CLASSES["detect-offline"]
+    assert PRIORITY_CLASSES["detect-offline"] < PRIORITY_CLASSES["online"]
+    assert make_job(mode="record").priority == 0
+    assert make_job(mode="online").priority == 2
+
+
+@pytest.mark.parametrize("nprocs,slots", [
+    (1, 1), (PROCS_PER_SLOT, 1), (PROCS_PER_SLOT + 1, 2),
+    (4 * PROCS_PER_SLOT, 4)])
+def test_slot_sizing_rounds_up(nprocs, slots):
+    assert make_job(nprocs=nprocs).slots == slots
+
+
+def test_attempts_allowed_is_one_plus_retries():
+    assert make_job(max_retries=0).attempts_allowed == 1
+    assert make_job(max_retries=3).attempts_allowed == 4
+
+
+def test_rejects_unknown_mode():
+    with pytest.raises(FleetError, match="unknown mode"):
+        make_job(mode="turbo")
+
+
+def test_rejects_unknown_override_key():
+    with pytest.raises(FleetError, match="unknown DsmConfig override"):
+        make_job(overrides={"warp_speed": 9})
+
+
+def test_rejects_cost_model_override():
+    # Non-serializable fields are refused even though DsmConfig has them.
+    with pytest.raises(FleetError, match="cost_model"):
+        make_job(overrides={"cost_model": None})
+
+
+def test_rejects_bad_budgets():
+    with pytest.raises(FleetError):
+        make_job(max_retries=-1)
+    with pytest.raises(FleetError):
+        make_job(max_crashes=0)
+
+
+def test_config_overrides_fold_seed_mode_deadline():
+    job = make_job(mode="record", seed=7, deadline_seconds=2.5,
+                   overrides={"trace_file": "/tmp/t.log",
+                              "loss_rate": 0.05})
+    kw = job.config_overrides()
+    assert kw["seed"] == 7
+    assert kw["mode"] == "record"
+    assert kw["deadline_seconds"] == 2.5
+    assert kw["trace_file"] == "/tmp/t.log"
+    assert kw["loss_rate"] == 0.05
+
+
+def test_framed_round_trip():
+    job = make_job(mode="detect-offline", nprocs=6, seed=3,
+                   overrides={"trace_file": "/tmp/t.log"},
+                   deadline_seconds=1.0, max_retries=5, max_crashes=3,
+                   chaos={"exit_code": 3})
+    back = JobSpec.parse_framed(job.to_framed())
+    assert back == job
+
+
+def test_torn_frame_detected():
+    framed = make_job().to_framed()
+    with pytest.raises(FleetError, match="torn or corrupt"):
+        JobSpec.parse_framed(framed[:-1])
+    with pytest.raises(FleetError, match="torn or corrupt"):
+        JobSpec.parse_framed(framed.replace("fft", "sor"))
+
+
+def test_version_mismatch_rejected():
+    payload = make_job().to_payload()
+    payload["version"] = 99
+    with pytest.raises(FleetError, match="version"):
+        JobSpec.from_payload(payload)
+
+
+def test_frame_payload_round_trip_generic():
+    payload = {"a": 1, "b": [1, 2, 3]}
+    assert parse_framed_payload(frame_payload(payload), "x") == payload

@@ -1,0 +1,108 @@
+"""Fleet journal: framing, replay, torn-tail and mid-stream corruption."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.journal import FleetJournal
+
+
+def write_events(path, n=5):
+    journal = FleetJournal(str(path))
+    journal.open()
+    for i in range(n):
+        journal.append("submit", job_id=f"job-{i:06d}")
+    journal.close()
+
+
+def test_round_trip(tmp_path):
+    path = tmp_path / "journal.log"
+    write_events(path, 3)
+    events, dropped = FleetJournal.replay(str(path))
+    assert dropped == 0
+    assert [e["event"] for e in events] == ["submit"] * 3
+    assert [e["n"] for e in events] == [0, 1, 2]
+    assert FleetJournal.last_seq(events) == 3
+
+
+def test_missing_file_is_empty_history(tmp_path):
+    events, dropped = FleetJournal.replay(str(tmp_path / "nope.log"))
+    assert events == [] and dropped == 0
+
+
+def test_torn_tail_dropped(tmp_path):
+    path = tmp_path / "journal.log"
+    write_events(path, 4)
+    text = path.read_text()
+    path.write_text(text[:-9])  # shear the last frame's hash line
+    events, dropped = FleetJournal.replay(str(path))
+    assert len(events) == 3
+    assert dropped == 2  # the torn body line + its truncated hash line
+
+
+def test_midstream_corruption_stops_replay(tmp_path):
+    path = tmp_path / "journal.log"
+    write_events(path, 4)
+    lines = path.read_text().split("\n")
+    lines[2] = lines[2].replace("job-000001", "job-999999")  # flip a body
+    path.write_text("\n".join(lines))
+    events, dropped = FleetJournal.replay(str(path))
+    assert len(events) == 1  # everything after the bad frame is untrusted
+    assert dropped > 0
+
+
+def test_sequence_gap_rejected(tmp_path):
+    path = tmp_path / "journal.log"
+    journal = FleetJournal(str(path))
+    journal.open(seq_start=0)
+    journal.append("submit", job_id="a")
+    journal.close()
+    # A second writer starting at the wrong sequence is detected on replay.
+    journal = FleetJournal(str(path))
+    journal.open(seq_start=5)
+    journal.append("submit", job_id="b")
+    journal.close()
+    events, _ = FleetJournal.replay(str(path))
+    assert len(events) == 1
+
+
+def test_reopen_truncates_torn_tail_before_appending(tmp_path):
+    # A SIGKILLed writer leaves a partial line with no newline; a resumed
+    # writer must cut back to the last intact frame first, or its next
+    # frame glues onto the torn line and corrupts the journal from there.
+    path = tmp_path / "journal.log"
+    write_events(path, 3)
+    path.write_bytes(path.read_bytes()[:-9])  # torn mid-frame, no newline
+    events, dropped = FleetJournal.replay(str(path))
+    assert len(events) == 2 and dropped == 2
+    journal = FleetJournal(str(path))
+    journal.open(seq_start=FleetJournal.last_seq(events))
+    journal.append("drain")
+    journal.close()
+    events, dropped = FleetJournal.replay(str(path))
+    assert dropped == 0
+    assert [e["n"] for e in events] == [0, 1, 2]
+    assert events[-1]["event"] == "drain"
+
+
+def test_resume_continues_numbering(tmp_path):
+    path = tmp_path / "journal.log"
+    write_events(path, 2)
+    events, _ = FleetJournal.replay(str(path))
+    journal = FleetJournal(str(path))
+    journal.open(seq_start=FleetJournal.last_seq(events))
+    journal.append("drain")
+    journal.close()
+    events, dropped = FleetJournal.replay(str(path))
+    assert dropped == 0
+    assert [e["n"] for e in events] == [0, 1, 2]
+    assert events[-1]["event"] == "drain"
+
+
+def test_append_requires_open(tmp_path):
+    journal = FleetJournal(str(tmp_path / "j.log"))
+    with pytest.raises(FleetError, match="not open"):
+        journal.append("drain")
+    journal.open()
+    with pytest.raises(FleetError, match="already open"):
+        journal.open()
+    journal.close()

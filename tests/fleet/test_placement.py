@@ -1,0 +1,76 @@
+"""Sized-slot placement: fit, occupy, release, and invariants."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.job import JobSpec, PROCS_PER_SLOT
+from repro.fleet.placement import Placement, SlotPool
+
+
+def job(i, nprocs=1):
+    return JobSpec(job_id=f"job-{i:06d}", app="fft", nprocs=nprocs)
+
+
+def test_lowest_contiguous_fit():
+    pool = SlotPool(4)
+    p0 = pool.place(job(0, nprocs=PROCS_PER_SLOT))
+    assert p0.start == 0 and p0.size == 1
+    p1 = pool.place(job(1, nprocs=2 * PROCS_PER_SLOT))
+    assert p1.start == 1 and p1.size == 2
+    assert pool.free_slots == 1
+
+
+def test_no_fit_returns_none_not_error():
+    pool = SlotPool(2)
+    pool.place(job(0, nprocs=2 * PROCS_PER_SLOT))
+    assert pool.place(job(1)) is None
+
+
+def test_fragmented_pool_needs_contiguous_block():
+    pool = SlotPool(3)
+    pool.place(job(0))                      # slot 0
+    middle = pool.place(job(1))             # slot 1
+    pool.place(job(2))                      # slot 2
+    pool.release(middle.job_id)             # free slot 1 only
+    # A 2-slot job cannot straddle the fragmentation.
+    assert pool.place(job(3, nprocs=2 * PROCS_PER_SLOT)) is None
+    assert pool.place(job(4)).start == 1
+
+
+def test_job_larger_than_pool_is_loud():
+    pool = SlotPool(2)
+    with pytest.raises(FleetError, match="enlarge --slots"):
+        pool.fit(job(0, nprocs=3 * PROCS_PER_SLOT))
+
+
+def test_overlap_and_bounds_validated():
+    pool = SlotPool(4)
+    pool.occupy(Placement("job-000000", 1, 2))
+    with pytest.raises(FleetError, match="overlaps"):
+        pool.occupy(Placement("job-000001", 2, 2))
+    with pytest.raises(FleetError, match="out of bounds"):
+        pool.occupy(Placement("job-000002", 3, 2))
+    with pytest.raises(FleetError, match="already placed"):
+        pool.occupy(Placement("job-000000", 0, 1))
+
+
+def test_release_unplaced_is_error():
+    pool = SlotPool(2)
+    with pytest.raises(FleetError, match="holds no placement"):
+        pool.release("job-000000")
+
+
+def test_release_then_reuse():
+    pool = SlotPool(1)
+    pool.place(job(0))
+    pool.release("job-000000")
+    assert pool.place(job(1)).start == 0
+    pool.validate()
+
+
+def test_validate_catches_corruption():
+    pool = SlotPool(2)
+    pool.place(job(0))
+    pool._occupancy[1] = "phantom"
+    with pytest.raises(FleetError, match="disagrees"):
+        pool.validate()

@@ -1,0 +1,61 @@
+"""Admission queue: priority order, FIFO within class, backpressure."""
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.fleet.job import JobSpec
+from repro.fleet.queue import JobQueue
+
+
+def job(i, mode="online"):
+    return JobSpec(job_id=f"job-{i:06d}", app="fft", mode=mode)
+
+
+def test_priority_classes_dispatch_order():
+    q = JobQueue()
+    q.push(job(0, "online"))
+    q.push(job(1, "detect-offline"))
+    q.push(job(2, "record"))
+    assert [j.mode for j in (q.pop(), q.pop(), q.pop())] == \
+        ["record", "detect-offline", "online"]
+
+
+def test_fifo_within_class():
+    q = JobQueue()
+    for i in range(5):
+        q.push(job(i))
+    assert [q.pop().job_id for _ in range(5)] == \
+        [f"job-{i:06d}" for i in range(5)]
+
+
+def test_admission_bound_backpressure():
+    q = JobQueue(limit=2)
+    q.push(job(0))
+    q.push(job(1))
+    assert q.full
+    with pytest.raises(AdmissionError, match="backpressure"):
+        q.push(job(2))
+    assert q.rejected == 1
+    q.pop()
+    q.push(job(2))  # room again after a pop
+
+
+def test_jobs_snapshot_matches_dispatch_order():
+    q = JobQueue()
+    q.push(job(0, "online"))
+    q.push(job(1, "record"))
+    snapshot = [j.job_id for j in q.jobs()]
+    assert snapshot == ["job-000001", "job-000000"]
+    assert len(q) == 2  # non-destructive
+
+
+def test_remove_specific_job_preserves_order():
+    q = JobQueue()
+    for i in range(4):
+        q.push(job(i))
+    removed = q.remove("job-000001")
+    assert removed.job_id == "job-000001"
+    assert [j.job_id for j in q.jobs()] == \
+        ["job-000000", "job-000002", "job-000003"]
+    with pytest.raises(KeyError):
+        q.remove("job-000001")

@@ -1,0 +1,195 @@
+"""FleetService supervision: scheduling, retry/poison policy, recovery.
+
+These run the service loop in-process (real worker subprocesses, fast
+poll/backoff settings).  The full kill-the-service acceptance scenario
+lives in test_acceptance.py.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import AdmissionError, FleetError
+from repro.fleet import FleetJournal, FleetService, FleetSpool, JobSpec
+
+
+def quiet(*_args, **_kw):
+    pass
+
+
+def service(spool, **kw):
+    defaults = dict(slots=2, poll_interval=0.02, heartbeat_interval=0.1,
+                    heartbeat_timeout=5.0, backoff_base=0.05,
+                    backoff_cap=0.2, drain_on_empty=True, log=quiet)
+    defaults.update(kw)
+    return FleetService(str(spool), **defaults)
+
+
+def submit(spool, i, app="queue_racy", **kw):
+    spool = FleetSpool(str(spool))
+    base = dict(job_id=f"job-{i:06d}", app=app,
+                nprocs=3 if app == "queue_racy" else 2)
+    base.update(kw)
+    spec = JobSpec(**base)
+    spool.submit(spec)
+    return spec
+
+
+def test_empty_queue_drains_immediately(tmp_path):
+    svc = service(tmp_path)
+    assert svc.serve() == 0
+    assert os.path.exists(svc.spool.aggregate_txt)
+
+
+def test_mixed_jobs_complete(tmp_path):
+    submit(tmp_path, 0, app="queue_racy", seed=0)
+    submit(tmp_path, 1, app="queue_racy", seed=1)
+    submit(tmp_path, 2, app="fft")
+    svc = service(tmp_path)
+    assert svc.serve() == 0
+    states = {jid: rec.state for jid, rec in svc.records.items()}
+    assert states == {"job-000000": "races", "job-000001": "races",
+                      "job-000002": "done"}
+    # Every completed job has a verifiable framed result.
+    for jid in states:
+        payload, _ = svc.spool.load_result(jid)
+        assert payload["job_id"] == jid
+
+
+def test_chaos_sigkill_is_retried_and_completes(tmp_path):
+    submit(tmp_path, 0)
+    svc = service(tmp_path, chaos_kill_worker=1, chaos_kill_after=0.1)
+    assert svc.serve() == 0
+    rec = svc.records["job-000000"]
+    assert rec.state == "races"
+    assert rec.attempts == 2  # the SIGKILLed attempt counted as a retry
+    assert rec.crashes == 1
+
+
+def test_transient_failures_exhaust_retry_budget(tmp_path):
+    submit(tmp_path, 0, chaos={"exit_code": 3}, max_retries=2)
+    svc = service(tmp_path)
+    assert svc.serve() == 3  # degraded: a job failed
+    rec = svc.records["job-000000"]
+    assert rec.state == "failed"
+    assert rec.attempts == 3  # 1 + max_retries
+    assert "retry budget exhausted" in rec.reason
+
+
+def test_config_error_fails_permanently_without_retry(tmp_path):
+    # trace_file with online mode is a ConfigError -> exit 2 -> permanent.
+    submit(tmp_path, 0, overrides={"trace_file": "/tmp/nope.log"})
+    svc = service(tmp_path)
+    assert svc.serve() == 3
+    rec = svc.records["job-000000"]
+    assert rec.state == "failed"
+    assert rec.attempts == 1  # retrying a config error is pointless
+    assert "config" in rec.reason
+
+
+def test_hung_worker_is_killed_and_poisoned(tmp_path):
+    submit(tmp_path, 0, chaos={"hang": True}, max_crashes=1)
+    svc = service(tmp_path, heartbeat_timeout=0.4)
+    assert svc.serve() == 3
+    rec = svc.records["job-000000"]
+    assert rec.state == "poisoned"
+    assert rec.crashes == 1
+
+
+def test_crashes_poison_after_cap(tmp_path):
+    # A worker that always dies by signal-style exit codes is poisoned
+    # after max_crashes crashes even with retry budget left.
+    submit(tmp_path, 0, chaos={"hang": True}, max_crashes=2,
+           max_retries=5)
+    svc = service(tmp_path, heartbeat_timeout=0.3)
+    assert svc.serve() == 3
+    rec = svc.records["job-000000"]
+    assert rec.state == "poisoned"
+    assert rec.crashes == 2
+    assert rec.attempts == 2
+
+
+def test_oversized_job_fails_at_placement(tmp_path):
+    submit(tmp_path, 0, app="fft", nprocs=64)  # 8 slots > pool of 2
+    svc = service(tmp_path)
+    assert svc.serve() == 3
+    rec = svc.records["job-000000"]
+    assert rec.state == "failed"
+    assert "enlarge --slots" in rec.reason
+
+
+def test_corrupt_submission_quarantined(tmp_path):
+    spool = FleetSpool(str(tmp_path))
+    spool.ensure()
+    bad = os.path.join(spool.pending_dir, "job-000099.json")
+    with open(bad, "w") as fh:
+        fh.write("{not a frame}\n")
+    submit(tmp_path, 0, app="fft")
+    svc = service(tmp_path)
+    assert svc.serve() == 0  # the good job still completes
+    assert svc.records["job-000000"].state == "done"
+    assert os.path.exists(bad + ".corrupt")
+    assert not os.path.exists(bad)
+
+
+def test_spool_backpressure_on_submit(tmp_path):
+    spool = FleetSpool(str(tmp_path))
+    for i in range(3):
+        spool.submit(JobSpec(job_id=f"job-{i:06d}", app="fft"), limit=3)
+    with pytest.raises(AdmissionError, match="backpressure"):
+        spool.submit(JobSpec(job_id="job-000003", app="fft"), limit=3)
+
+
+def test_serve_refuses_used_spool_without_resume(tmp_path):
+    svc = service(tmp_path)
+    assert svc.serve() == 0
+    with pytest.raises(FleetError, match="--resume"):
+        service(tmp_path).serve()
+
+
+def test_two_live_services_cannot_share_a_spool(tmp_path):
+    # Two writers folding one journal would interleave frames and
+    # corrupt the sequence; the second taker must be refused loudly.
+    first = service(tmp_path)
+    first.spool.ensure()
+    lock = first._take_serve_lock()
+    try:
+        with pytest.raises(FleetError) as exc_info:
+            service(tmp_path).serve()
+        message = str(exc_info.value)
+        assert "already being served" in message
+        assert str(os.getpid()) in message  # names the holder
+    finally:
+        lock.close()
+    # flock dies with its holder: a fresh service may serve afterwards.
+    assert service(tmp_path, drain_on_empty=True).serve() == 0
+
+
+def test_journal_records_full_lifecycle(tmp_path):
+    submit(tmp_path, 0, app="fft")
+    svc = service(tmp_path)
+    svc.serve()
+    events, dropped = FleetJournal.replay(svc.spool.journal_path)
+    assert dropped == 0
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "service"
+    assert "submit" in kinds and "start" in kinds
+    assert "outcome" in kinds and "terminal" in kinds
+    assert kinds[-1] == "drained"
+
+
+def test_priority_order_under_single_slot(tmp_path):
+    trace = str(tmp_path / "trace.log")
+    # Submitted in "wrong" order; the queue must run the record job
+    # first (priority class 0) so detect-offline finds its trace.
+    submit(tmp_path, 0, mode="detect-offline",
+           overrides={"trace_file": trace}, seed=0)
+    submit(tmp_path, 1, mode="record", overrides={"trace_file": trace},
+           seed=0)
+    svc = service(tmp_path, slots=1)
+    assert svc.serve() == 0
+    assert svc.records["job-000001"].state == "done"    # record
+    assert svc.records["job-000000"].state == "races"   # detect-offline
+    events, _ = FleetJournal.replay(svc.spool.journal_path)
+    starts = [e["job_id"] for e in events if e["event"] == "start"]
+    assert starts[0] == "job-000001"  # record dispatched first

@@ -59,7 +59,7 @@ def test_resume_via_cli_flag(checkpointed, tmp_path):
         "".join(line + "\n" for line in _report_lines(original)))
     rc = main(["run", APP, "--procs", str(NPROCS),
                "--resume-from", d, "--report", str(res_path)])
-    assert rc == 0
+    assert rc == 1  # water races -> exit code 1 (repro.exitcodes)
     assert res_path.read_text() == orig_path.read_text()
 
 

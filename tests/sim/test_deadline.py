@@ -1,0 +1,38 @@
+"""Wall-clock deadline guard (``--deadline``, scheduler-enforced)."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.errors import DeadlineExceeded
+
+
+def test_generous_deadline_is_byte_identical_to_none():
+    spec = get_app("queue_racy")
+    plain = spec.run(nprocs=3)
+    guarded = spec.run(nprocs=3, deadline_seconds=120.0)
+    assert sorted(map(str, guarded.races)) == sorted(map(str, plain.races))
+    assert guarded.runtime_cycles == plain.runtime_cycles
+    assert guarded.detector_stats == plain.detector_stats
+
+
+def test_tiny_deadline_aborts_cleanly():
+    with pytest.raises(DeadlineExceeded) as exc_info:
+        get_app("water").run(nprocs=4, deadline_seconds=1e-9)
+    err = exc_info.value
+    assert err.deadline_seconds == 1e-9
+    assert err.elapsed_seconds > 0
+    assert "aborted" in str(err)
+
+
+def test_cli_maps_deadline_to_exit_code_4(capsys):
+    from repro.cli import main
+    rc = main(["run", "water", "--procs", "4", "--deadline", "1e-9"])
+    assert rc == 4
+    assert "deadline exceeded" in capsys.readouterr().err
+
+
+def test_cli_rejects_nonpositive_deadline(capsys):
+    from repro.cli import main
+    rc = main(["run", "fft", "--procs", "2", "--deadline", "0"])
+    assert rc == 2
+    assert "--deadline" in capsys.readouterr().err

@@ -19,8 +19,9 @@ def test_apps_lists_everything(capsys):
 
 
 def test_run_racy_app(capsys):
+    # Races found -> exit code 1 (the grep convention; see repro.exitcodes).
     rc, out = run_cli(capsys, "run", "water", "--procs", "4")
-    assert rc == 0
+    assert rc == 1
     assert "data race(s):" in out
     assert "water_poteng" in out
     assert "slowdown" in out
@@ -34,14 +35,14 @@ def test_run_clean_app(capsys):
 
 def test_run_queue_forces_three_procs(capsys):
     rc, out = run_cli(capsys, "run", "queue_racy", "--procs", "8")
-    assert rc == 0
+    assert rc == 1  # the fig. 5 queue races by design
     assert "3 simulated processes" in out
 
 
 def test_run_mw_protocol(capsys):
     rc, out = run_cli(capsys, "run", "water", "--procs", "2",
                       "--protocol", "mw")
-    assert rc == 0
+    assert rc == 1
     assert "(mw protocol" in out
 
 
@@ -86,3 +87,60 @@ def test_parser_rejects_unknown_app():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_config_error_maps_to_exit_code_2(capsys):
+    # --trace-file without a two-phase mode is a ConfigError.
+    rc = main(["run", "fft", "--procs", "2", "--trace-file", "/tmp/t.log"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "configuration error" in err and "--trace-file" in err
+
+
+def test_fleet_submit_and_status(capsys, tmp_path):
+    spool = str(tmp_path / "spool")
+    rc, out = run_cli(capsys, "fleet", "submit", "--spool", spool,
+                      "queue_racy", "--seeds", "0:3", "--mode", "record",
+                      "--trace-file", str(tmp_path / "t.log"))
+    assert rc == 0
+    assert out.count("submitted job-") == 3
+    assert "priority class 0" in out  # record rides the cheapest class
+    rc, out = run_cli(capsys, "fleet", "status", "--spool", spool)
+    assert rc == 0
+    assert "spooled (awaiting ingestion): 3" in out
+
+
+def test_fleet_submit_backpressure_exit_code_3(capsys, tmp_path):
+    spool = str(tmp_path / "spool")
+    rc, _out = run_cli(capsys, "fleet", "submit", "--spool", spool,
+                       "fft", "--seeds", "0:2", "--queue-limit", "2")
+    assert rc == 0
+    rc = main(["fleet", "submit", "--spool", spool, "fft",
+               "--queue-limit", "2"])
+    assert rc == 3  # AdmissionError: transient backpressure, not config
+    assert "backpressure" in capsys.readouterr().err
+
+
+def test_fleet_submit_rejects_unknown_override(capsys, tmp_path):
+    rc = main(["fleet", "submit", "--spool", str(tmp_path / "s"),
+               "fft", "--set", "warp_speed=9"])
+    assert rc == 3
+    assert "unknown DsmConfig override" in capsys.readouterr().err
+
+
+def test_fleet_drain_touches_marker(capsys, tmp_path):
+    spool = tmp_path / "spool"
+    rc, out = run_cli(capsys, "fleet", "drain", "--spool", str(spool))
+    assert rc == 0
+    assert (spool / "DRAIN").exists()
+
+
+def test_fleet_serve_batch(capsys, tmp_path):
+    spool = str(tmp_path / "spool")
+    run_cli(capsys, "fleet", "submit", "--spool", spool, "queue_racy")
+    rc, out = run_cli(capsys, "fleet", "serve", "--spool", spool,
+                      "--slots", "1", "--drain-on-empty",
+                      "--poll-interval", "0.02")
+    assert rc == 0
+    assert "drained" in out and "Fleet jobs" in out
+    assert "queue_racy" in out
