@@ -21,9 +21,18 @@ Every cell also checks cross-engine equivalence in the same breath: the
 sharded run must produce byte-identical race reports and detector
 statistics, or the benchmark fails regardless of speed.
 
-Results merge into ``BENCH_detection.json`` under the ``"scaleout"`` key
-(the wall-clock microbenchmark owns the rest of the file) so the
-repository carries the scaling trajectory across PRs.
+A second section ablates the two-level coarse filter
+(``--coarse-filter``) on the same stress workload and on every
+registered application, on both detection engines: reports must be
+byte-identical filter-on vs filter-off, the combined bitmap-fetch
+traffic must shrink by ``--min-filter-reduction`` (default 2x), and the
+centralized engine — whose coordinator serializes the whole bitmap
+round — must get measurably faster.
+
+Results merge into ``BENCH_detection.json`` under the ``"scaleout"``
+and ``"coarse_filter"`` keys (the wall-clock microbenchmark owns the
+rest of the file) so the repository carries both trajectories across
+PRs.
 
 Usage::
 
@@ -110,6 +119,11 @@ def coordinator_detection_share(result) -> float:
 
 
 def bench_cell(spec: AppSpec, nprocs: int, **config) -> dict:
+    # The scale-out cells measure sharding alone: the two-level filter
+    # (on by default) would shrink the very bitmap-round work sharding
+    # distributes, so it is pinned off here and measured separately by
+    # the "coarse_filter" section below.
+    config = dict(config, coarse_filter=False)
     central = spec.run(nprocs=nprocs, **config)
     sharded = spec.run(nprocs=nprocs, sharded_detection=True, **config)
     equivalent = (
@@ -136,14 +150,102 @@ def bench_cell(spec: AppSpec, nprocs: int, **config) -> dict:
     }
 
 
-def merge_report(path: str, entry: dict) -> None:
-    """Install the scale-out entry into the benchmark file without
-    touching the wall-clock microbenchmark's keys."""
+def fetch_bytes(result, sharded: bool) -> int:
+    """Bitmap-fetch traffic of one run: the centralized engine's bitmap
+    round, or the shard owners' fetch exchanges."""
+    if sharded:
+        return result.sharding_stats.bitmap_fetch_bytes
+    return result.traffic.bitmap_round_bytes
+
+
+def filter_cell(spec: AppSpec, nprocs: int, sharded: bool,
+                **config) -> dict:
+    """One two-level-filter ablation cell: the same workload with the
+    filter off and on, on one detection engine.  Reports must come out
+    byte-identical (the filter only skips provably-empty comparisons);
+    what changes is the bitmap-fetch traffic and the virtual runtime."""
+    runs = {}
+    for filt in (False, True):
+        runs[filt] = spec.run(nprocs=nprocs, sharded_detection=sharded,
+                              coarse_filter=filt, **config)
+    off, on = runs[False], runs[True]
+    equivalent = (
+        [str(r) for r in off.races] == [str(r) for r in on.races]
+        and ([str(e) for e in off.unverifiable]
+             == [str(e) for e in on.unverifiable]))
+    off_bytes, on_bytes = fetch_bytes(off, sharded), fetch_bytes(on, sharded)
+    st = on.detector_stats
+    return {
+        "app": spec.name,
+        "nprocs": nprocs,
+        "engine": "sharded" if sharded else "centralized",
+        "races": len(off.races),
+        "equivalent": equivalent,
+        "fetch_bytes_off": off_bytes,
+        "fetch_bytes_on": on_bytes,
+        "fetch_reduction": off_bytes / on_bytes if on_bytes else float("inf"),
+        "runtime_cycles_off": off.runtime_cycles,
+        "runtime_cycles_on": on.runtime_cycles,
+        "runtime_speedup": off.runtime_cycles / on.runtime_cycles,
+        "pairs_filtered": st.pairs_filtered,
+        "granule_hits": st.granule_hits,
+        "digest_bytes": on.traffic.digest_bytes,
+    }
+
+
+def bench_coarse_filter(sweep_top: int, apps_nprocs: int = 8) -> dict:
+    """The ``"coarse_filter"`` entry: the stress workload on both engines
+    at the sweep's highest process count (the gated cells), plus an
+    equivalence sweep over every registered application on both engines.
+
+    The filter's two wins land on different engines: the centralized
+    coordinator serializes the whole bitmap round, so skipped fetches
+    turn directly into runtime (the ``runtime_speedup`` gate); the shard
+    owners fetch per-shard without cross-owner dedup, so the byte
+    reduction is largest there (the ``fetch_reduction`` gate counts both
+    engines' traffic together).
+    """
+    stress_cells = [
+        filter_cell(STRESS_SPEC, sweep_top, sharded, **STRESS_CONFIG)
+        for sharded in (False, True)]
+    app_cells = []
+    from repro.apps.registry import APPLICATIONS
+    for name in sorted(APPLICATIONS):
+        for sharded in (False, True):
+            app_cells.append(filter_cell(get_app(name), apps_nprocs,
+                                         sharded))
+    for row in stress_cells + app_cells:
+        print(f"{row['app']}@{row['nprocs']:<3d} {row['engine']:11s} "
+              f"fetch {row['fetch_bytes_off']:>8d} -> "
+              f"{row['fetch_bytes_on']:>7d}  "
+              f"runtime x{row['runtime_speedup']:5.3f}  "
+              f"{'OK' if row['equivalent'] else 'MISMATCH'}")
+    off_total = sum(r["fetch_bytes_off"] for r in stress_cells)
+    on_total = sum(r["fetch_bytes_on"] for r in stress_cells)
+    central = stress_cells[0]
+    return {
+        "benchmark": "two-level coarse-filter ablation",
+        "stress_nprocs": sweep_top,
+        "stress_cells": stress_cells,
+        "app_cells": app_cells,
+        "fetch_bytes_off": off_total,
+        "fetch_bytes_on": on_total,
+        "fetch_reduction": (off_total / on_total if on_total
+                            else float("inf")),
+        "runtime_speedup": central["runtime_speedup"],
+        "all_equivalent": all(r["equivalent"]
+                              for r in stress_cells + app_cells),
+    }
+
+
+def merge_report(path: str, entry: dict, key: str = "scaleout") -> None:
+    """Install one section into the benchmark file without touching the
+    other benchmarks' keys."""
     report = {}
     if os.path.exists(path):
         with open(path) as f:
             report = json.load(f)
-    report["scaleout"] = entry
+    report[key] = entry
     with open(path, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -157,6 +259,11 @@ def main(argv: List[str] = None) -> int:
                         help="required sharded speedup on the stress "
                              "workload at the highest process count "
                              "(default 1.25)")
+    parser.add_argument("--min-filter-reduction", type=float, default=2.0,
+                        help="required bitmap-fetch-byte reduction from "
+                             "the two-level filter on the stress workload "
+                             "at the highest process count, both engines' "
+                             "traffic combined (default 2.0)")
     parser.add_argument("--output", default="BENCH_detection.json",
                         help="benchmark file to merge the scale-out "
                              "entry into")
@@ -199,7 +306,11 @@ def main(argv: List[str] = None) -> int:
         "all_equivalent": all(r["equivalent"] for r in all_rows),
     }
     merge_report(args.output, entry)
-    print(f"\nmerged scale-out entry into {args.output}")
+    print(f"\nmerged scale-out entry into {args.output}\n")
+
+    filt = bench_coarse_filter(sweep[-1])
+    merge_report(args.output, filt, key="coarse_filter")
+    print(f"\nmerged coarse-filter entry into {args.output}")
 
     if not entry["all_equivalent"]:
         print("FAIL: sharded and centralized engines disagree",
@@ -210,9 +321,26 @@ def main(argv: List[str] = None) -> int:
               f"{args.min_speedup:.2f}x at {stress_row['nprocs']} procs",
               file=sys.stderr)
         return 1
-    print(f"PASS: {stress_row['speedup']:.2f}x at "
-          f"{stress_row['nprocs']} procs "
-          f"(>= {args.min_speedup:.2f}x), all cells equivalent")
+    if not filt["all_equivalent"]:
+        print("FAIL: coarse-filter reports differ from the unfiltered "
+              "pipeline's", file=sys.stderr)
+        return 1
+    if filt["fetch_reduction"] < args.min_filter_reduction:
+        print(f"FAIL: coarse-filter fetch-byte reduction "
+              f"{filt['fetch_reduction']:.2f}x < "
+              f"{args.min_filter_reduction:.2f}x at "
+              f"{filt['stress_nprocs']} procs", file=sys.stderr)
+        return 1
+    if filt["runtime_speedup"] <= 1.0:
+        print(f"FAIL: coarse-filter centralized runtime speedup "
+              f"x{filt['runtime_speedup']:.3f} is not a speedup",
+              file=sys.stderr)
+        return 1
+    print(f"PASS: sharding {stress_row['speedup']:.2f}x at "
+          f"{stress_row['nprocs']} procs (>= {args.min_speedup:.2f}x); "
+          f"filter {filt['fetch_reduction']:.1f}x fewer fetch bytes, "
+          f"x{filt['runtime_speedup']:.3f} centralized runtime; "
+          f"all cells equivalent")
     return 0
 
 

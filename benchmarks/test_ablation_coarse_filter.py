@@ -1,0 +1,81 @@
+"""Ablation: the two-level detection filter vs. the unfiltered pipeline.
+
+The paper's detector decides every page-overlapping concurrent pair by
+fetching word bitmaps in the extra barrier round (§4, step 4).  The
+two-level filter (``--coarse-filter``) piggy-backs coarse granule
+digests on the notice records instead, so most pairs are proven
+race-free from data already in hand and never enter the fetch round.
+This bench runs every registered application with the filter off and on
+at 16 processes: race reports must be byte-identical (the filter only
+skips provably-empty comparisons), and the bitmap-fetch traffic must
+shrink wherever the unfiltered pipeline fetched anything at all.
+"""
+
+import pytest
+
+from repro.apps.registry import APPLICATIONS
+
+NPROCS = 16
+
+
+def run_pair(app: str):
+    spec = APPLICATIONS[app]
+    off = spec.run(nprocs=NPROCS, coarse_filter=False)
+    on = spec.run(nprocs=NPROCS, coarse_filter=True)
+    return off, on
+
+
+def test_coarse_filter_equivalence_and_fetch_reduction(benchmark):
+    pairs = benchmark.pedantic(
+        lambda: {app: run_pair(app) for app in sorted(APPLICATIONS)},
+        rounds=1, iterations=1)
+
+    print("\ntwo-level filter ablation (16 procs):")
+    print(f"{'app':6s} {'races':>6s} {'fetches off':>12s} {'on':>6s} "
+          f"{'bytes off':>10s} {'on':>8s} {'filtered':>9s} {'hits':>6s}")
+    any_reduction = False
+    for app, (off, on) in pairs.items():
+        s_off, s_on = off.detector_stats, on.detector_stats
+        b_off = off.traffic.bitmap_round_bytes
+        b_on = on.traffic.bitmap_round_bytes
+        print(f"{app:6s} {len(off.races):6d} {s_off.bitmaps_fetched:12d} "
+              f"{s_on.bitmaps_fetched:6d} {b_off:10d} {b_on:8d} "
+              f"{s_on.pairs_filtered:9d} {s_on.granule_hits:6d}")
+        # Byte-identical verdicts: the filter may only skip comparisons
+        # the digests prove empty.
+        assert [str(r) for r in off.races] == [str(r) for r in on.races], app
+        assert ([str(e) for e in off.unverifiable]
+                == [str(e) for e in on.unverifiable]), app
+        # The unfiltered counters agree up to the point the filter acts.
+        assert s_on.concurrent_pairs == s_off.concurrent_pairs, app
+        assert s_on.overlapping_pairs == s_off.overlapping_pairs, app
+        # Whatever still gets fetched is a subset of the unfiltered round.
+        assert s_on.bitmaps_fetched <= s_off.bitmaps_fetched, app
+        assert b_on <= b_off, app
+        if s_off.bitmaps_fetched:
+            # The filter must actually cut traffic on fetch-heavy apps.
+            assert s_on.bitmaps_fetched < s_off.bitmaps_fetched, app
+            assert b_on < b_off, app
+            any_reduction = True
+        # Filter-off runs never carry digests or count filter work.
+        assert off.traffic.digest_bytes == 0, app
+        assert s_off.granule_checks == s_off.granule_hits == 0, app
+        assert s_off.pairs_filtered == 0, app
+
+    assert any_reduction, "no app exercised the bitmap round at 16 procs"
+
+
+@pytest.mark.parametrize("app", sorted(APPLICATIONS))
+def test_coarse_filter_equivalent_on_sharded_engine(app):
+    """The same ablation through the sharded engine: byte-identical
+    reports, and the per-owner fetch traffic shrinks at least as much
+    (shard owners fetch without cross-owner dedup)."""
+    spec = APPLICATIONS[app]
+    off = spec.run(nprocs=NPROCS, sharded_detection=True,
+                   coarse_filter=False)
+    on = spec.run(nprocs=NPROCS, sharded_detection=True, coarse_filter=True)
+    assert [str(r) for r in off.races] == [str(r) for r in on.races]
+    sh_off, sh_on = off.sharding_stats, on.sharding_stats
+    assert sh_on.bitmap_fetch_bytes <= sh_off.bitmap_fetch_bytes
+    if sh_off.bitmap_fetch_bytes:
+        assert sh_on.bitmap_fetch_bytes < sh_off.bitmap_fetch_bytes

@@ -99,6 +99,16 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
                    help="cap the number of shard owners per epoch "
                         "(requires --sharded-detection; 0 = every live "
                         "process, 1 = coordinator-local)")
+    p.add_argument("--coarse-filter", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="two-level detection filter (default on): "
+                        "piggy-back coarse granule digests on the notice "
+                        "lists so the detection engine proves most "
+                        "page-overlapping pairs race-free without the "
+                        "bitmap-fetch round; race reports are "
+                        "byte-identical either way — --no-coarse-filter "
+                        "restores the paper's unfiltered pipeline "
+                        "(see docs/performance.md)")
     p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                    help="take barrier-consistent per-node checkpoints and "
                         "persist them under DIR; a crashed node then "
@@ -161,6 +171,7 @@ def _fault_overrides(args) -> dict:
                 crash_at=parse_crash_at(args.crash_at),
                 sharded_detection=getattr(args, "sharded_detection", False),
                 detection_shards=getattr(args, "detection_shards", 0),
+                coarse_filter=getattr(args, "coarse_filter", True),
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_delta=getattr(args, "checkpoint_delta", False),
                 resume_from=getattr(args, "resume_from", None),
@@ -228,6 +239,11 @@ def cmd_run(args) -> int:
         print(f"  detector: {st.interval_comparisons} comparisons, "
               f"{st.concurrent_pairs} concurrent pairs, "
               f"{st.bitmaps_fetched}/{st.bitmaps_created} bitmaps fetched")
+        if res.config.coarse_filter:
+            print(f"  filter: {st.pairs_filtered}/{st.granule_checks} "
+                  f"combination(s) proven race-free by digest, "
+                  f"{st.granule_hits} granule hit(s) fetched, "
+                  f"{res.traffic.digest_bytes} digest bytes carried")
     rs = res.record_stats
     if rs is not None and args.mode == "record":
         print(f"  record: {rs['entries_recorded']} sync entries "
@@ -268,8 +284,10 @@ def cmd_run(args) -> int:
               f"{sh.epochs_sharded + sh.epochs_centralized} epoch(s) "
               f"sharded, {sh.shards_dispatched} shard(s), "
               f"{sh.records_shipped} record(s) shipped, "
-              f"{sh.bytes_scattered + sh.bytes_reduced + sh.bitmap_fetch_bytes} "
-              f"protocol bytes, "
+              f"{sh.bytes_scattered + sh.bytes_reduced} "
+              f"scatter/reduce bytes, "
+              f"{sh.bitmap_fetch_messages} bitmap fetch(es) "
+              f"({sh.bitmap_fetch_bytes} bytes), "
               f"{sh.fallbacks_owner_crash + sh.fallbacks_network} "
               f"fallback(s)")
     if res.config.master_failover:

@@ -1,4 +1,4 @@
-"""Word-granularity access bitmaps.
+"""Word-granularity access bitmaps and their coarse granule digests.
 
 The instrumentation sets one bit per page word accessed (paper §4: "sets a
 bit in a per-page bitmap").  Bitmap comparison — the operation that
@@ -6,27 +6,138 @@ distinguishes false sharing from a true data race — is a constant-time
 bitwise AND over the page's bits.  We store bits in a ``bytearray`` and use
 Python's arbitrary-precision integers for whole-bitmap intersection, which
 is both fast and exact.
+
+Each bitmap also maintains, incrementally on every mutation, a **coarse
+granule mask**: one bit per :data:`GRANULE_WORDS`-word granule, set when
+any word in the granule is.  The two-level detection filter ships a small
+digest derived from this mask (plus a Bloom filter of the word offsets for
+sparse access sets) piggy-backed on interval records, so the detector can
+prove most page-overlapping interval pairs race-free without fetching the
+word bitmaps at all.  The digest is conservative by construction:
+``digests_disjoint(a, b)`` implies the underlying word bitmaps do not
+intersect — never the other way round — so filtering on it can only skip
+comparisons whose verdict is already "no race".
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional, Tuple
 
 #: Python >= 3.10 has int.bit_count (a single popcount); resolved once at
 #: import so Bitmap.count() pays no per-call hasattr probe.
 _HAS_BIT_COUNT = hasattr(int, "bit_count")
 
+#: Words per coarse granule (the "16-word granule" of the two-level
+#: filter).  Fixed: the incremental mask update in ``set``/``set_range``
+#: is a shift by 4.
+GRANULE_WORDS = 16
+#: A shipped digest's granule mask is folded (adjacent granules OR-ed
+#: pairwise) until it fits this many bits, so digest wire size is bounded
+#: regardless of page size.  At the default 1024-word page this is
+#: exactly one bit per 16-word granule.
+DIGEST_MAX_BITS = 64
+#: Width of the Bloom-style fallback digest for sparse access sets.
+BLOOM_BITS = 64
+#: Access sets with at most this many words also carry a Bloom digest of
+#: the exact offsets.  Sparse strided accesses (one word per granule —
+#: the granule mask's worst case) stay filterable through it.
+BLOOM_SPARSE_MAX = 8
+
+_BLOOM_MULT = 0x9E3779B1  # Knuth multiplicative hash constant.
+
+#: A finalized per-(page, kind) digest: ``(granule_mask, bloom)`` where
+#: ``bloom`` is None for dense access sets (granule mask only).
+Digest = Tuple[int, Optional[int]]
+
+
+def _coarse_of(data: bytes) -> int:
+    """Recompute a coarse granule mask from raw bitmap bytes (checkpoint
+    restore / ``from_bytes``).  A saturating OR-fold confines each 16-bit
+    group's bits to its lowest position, then every other byte's low bit
+    is the granule's occupancy."""
+    v = int.from_bytes(data, "little")
+    v |= v >> 8
+    v |= v >> 4
+    v |= v >> 2
+    v |= v >> 1
+    folded = v.to_bytes(len(data), "little")
+    mask = 0
+    for g in range((len(data) + 1) // 2):
+        if folded[2 * g] & 1:
+            mask |= 1 << g
+    return mask
+
+
+def bloom_word_mask(offset: int) -> int:
+    """The two Bloom bits word ``offset`` sets (deterministic, so equal
+    offsets on two sides always collide — the soundness requirement)."""
+    h = (offset * _BLOOM_MULT) & 0xFFFFFFFF
+    return (1 << (h >> 26)) | (1 << ((h >> 20) & 63))
+
+
+def digest_width_bits(nbits: int) -> int:
+    """Granule-mask width of a shipped digest for an ``nbits``-word page."""
+    ngran = (nbits + GRANULE_WORDS - 1) // GRANULE_WORDS
+    while ngran > DIGEST_MAX_BITS:
+        ngran = (ngran + 1) // 2
+    return ngran
+
+
+def _fold_pairs(mask: int, ngran: int) -> int:
+    """OR adjacent granule bits pairwise (halving the mask width)."""
+    out = 0
+    for i in range((ngran + 1) // 2):
+        if mask & (3 << (2 * i)):
+            out |= 1 << i
+    return out
+
+
+def coarse_digest(bm: Optional["Bitmap"], nbits: int) -> Digest:
+    """Finalize the digest shipped for one (page, kind) access set.
+
+    An absent bitmap is an empty access set (the detector's comparison
+    convention) and digests to ``(0, 0)`` — disjoint from everything.
+    """
+    if bm is None:
+        return (0, 0)
+    gmask = bm.coarse_mask
+    ngran = (nbits + GRANULE_WORDS - 1) // GRANULE_WORDS
+    while ngran > DIGEST_MAX_BITS:
+        gmask = _fold_pairs(gmask, ngran)
+        ngran = (ngran + 1) // 2
+    if bm.count() <= BLOOM_SPARSE_MAX:
+        bloom = 0
+        for off in bm.iter_set_bits():
+            bloom |= bloom_word_mask(off)
+        return (gmask, bloom)
+    return (gmask, None)
+
+
+def digests_disjoint(a: Digest, b: Digest) -> bool:
+    """True when the digests *prove* the word bitmaps cannot intersect.
+
+    Granule masks disjoint ⇒ no common granule ⇒ no common word.  On a
+    granule collision, two sparse sets can still be separated by their
+    Bloom digests: a shared word would set the same two Bloom bits on
+    both sides, so disjoint Blooms also prove disjoint words.
+    """
+    if not (a[0] & b[0]):
+        return True
+    ba, bb = a[1], b[1]
+    return ba is not None and bb is not None and not (ba & bb)
+
 
 class Bitmap:
     """Fixed-width bitset, one bit per word of a page."""
 
-    __slots__ = ("nbits", "_bytes")
+    __slots__ = ("nbits", "_bytes", "_coarse")
 
     def __init__(self, nbits: int):
         if nbits <= 0 or nbits % 8 != 0:
             raise ValueError("nbits must be a positive multiple of 8")
         self.nbits = nbits
         self._bytes = bytearray(nbits // 8)
+        self._coarse = 0
 
     # ------------------------------------------------------------------ #
     # Mutation.
@@ -36,6 +147,7 @@ class Bitmap:
         if not 0 <= i < self.nbits:
             raise IndexError(f"bit {i} out of range [0, {self.nbits})")
         self._bytes[i >> 3] |= 1 << (i & 7)
+        self._coarse |= 1 << (i >> 4)
 
     def set_range(self, start: int, count: int) -> None:
         """Set ``count`` consecutive bits starting at ``start``.
@@ -53,6 +165,8 @@ class Bitmap:
         end = start + count  # exclusive
         if not (0 <= start and end <= self.nbits):
             raise IndexError(f"range [{start}, {end}) out of [0, {self.nbits})")
+        glo = start >> 4
+        self._coarse |= ((1 << (((end - 1) >> 4) - glo + 1)) - 1) << glo
         if count == 1:
             self._bytes[start >> 3] |= 1 << (start & 7)
             return
@@ -62,6 +176,7 @@ class Bitmap:
 
     def clear(self) -> None:
         self._bytes[:] = bytes(len(self._bytes))
+        self._coarse = 0
 
     # ------------------------------------------------------------------ #
     # Queries.
@@ -121,6 +236,7 @@ class Bitmap:
     def from_bytes(cls, data: bytes) -> "Bitmap":
         bm = cls(len(data) * 8)
         bm._bytes[:] = data
+        bm._coarse = _coarse_of(data)
         return bm
 
     def copy(self) -> "Bitmap":
@@ -133,6 +249,13 @@ class Bitmap:
         merged = (int.from_bytes(self._bytes, "little")
                   | int.from_bytes(other._bytes, "little"))
         self._bytes[:] = merged.to_bytes(len(self._bytes), "little")
+        self._coarse |= other._coarse
+
+    @property
+    def coarse_mask(self) -> int:
+        """One bit per :data:`GRANULE_WORDS`-word granule with any word
+        set — maintained incrementally by ``set``/``set_range``."""
+        return self._coarse
 
     def _check_width(self, other: "Bitmap") -> None:
         if other.nbits != self.nbits:

@@ -27,10 +27,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.core.bitmap import Bitmap
-from repro.core.checklist import (CheckEntry, bitmaps_needed, build_check_list,
-                                  build_check_list_fast, index_meetings,
-                                  overlap_work, page_overlaps)
+from repro.core.bitmap import Bitmap, digests_disjoint
+from repro.core.checklist import (CheckEntry, OverlapPage, bitmaps_needed,
+                                  build_check_list, build_check_list_fast,
+                                  index_meetings, overlap_work, page_overlaps)
 from repro.core.concurrency import (PairSearchStats, _first_after,
                                     _first_not_before, find_concurrent_pairs,
                                     group_by_pid, iter_window_pairs,
@@ -103,6 +103,15 @@ class DetectorStats:
     #: Individual unverifiable report entries emitted (>= pair count: one
     #: per access-kind combination per overlapping page).
     unverifiable_reports: int = 0
+    #: Two-level filter (``--coarse-filter``): digest pre-checks performed
+    #: on check-list access-kind combinations.
+    granule_checks: int = 0
+    #: Combinations whose digests collided — the word bitmaps must still
+    #: be fetched and intersected.
+    granule_hits: int = 0
+    #: Combinations the digests proved empty: their bitmap fetches and
+    #: comparisons were skipped outright (the filter's win).
+    pairs_filtered: int = 0
     #: Per-epoch history, in check order (includes consolidation passes).
     epoch_history: List["EpochSummary"] = field(default_factory=list)
 
@@ -112,6 +121,13 @@ class DetectorStats:
         data = {f.name: getattr(self, f.name)
                 for f in dataclasses.fields(self)
                 if f.name != "epoch_history"}
+        # The filter counters only exist on filter-on runs; omitting them
+        # when zero keeps filter-off journal/checkpoint bytes (and their
+        # priced sizes) byte-identical to pre-filter builds.
+        if not (self.granule_checks or self.granule_hits
+                or self.pairs_filtered):
+            for name in ("granule_checks", "granule_hits", "pairs_filtered"):
+                del data[name]
         data["epoch_history"] = [dataclasses.asdict(s)
                                  for s in self.epoch_history]
         return data
@@ -223,6 +239,10 @@ class ShardResult:
     #: Message/byte counts of the shard-local bitmap fetches.
     fetch_messages: int = 0
     fetch_bytes: int = 0
+    #: Two-level filter counters for this shard's combinations.
+    granule_checks: int = 0
+    granule_hits: int = 0
+    pairs_filtered: int = 0
     #: Candidate items in canonical entry-key order.
     items: List[ShardItem] = field(default_factory=list)
 
@@ -234,7 +254,8 @@ class RaceDetector:
                  sizer: WireSizer, transport: Transport,
                  symbol_for, master_pid: int = 0,
                  first_races_only: bool = False,
-                 fast_path: bool = True):
+                 fast_path: bool = True,
+                 coarse_filter: bool = False):
         self.page_size_words = page_size_words
         self.cost_model = cost_model
         self.sizer = sizer
@@ -250,6 +271,15 @@ class RaceDetector:
         #: ledgers are identical either way (the equivalence tests assert
         #: this); only Python wall-clock differs.
         self.fast_path = fast_path
+        #: Two-level filter: pre-check every check-list combination
+        #: against the coarse digests piggy-backed on the interval
+        #: records, fetching and intersecting word bitmaps only on
+        #: granule hits.  The filter only skips comparisons it can prove
+        #: empty, so reports are byte-identical with it off — only the
+        #: fetch round shrinks.  (DsmConfig defaults this on for
+        #: detection runs; the bare constructor defaults off so direct
+        #: detector use reproduces the paper's unfiltered pipeline.)
+        self.coarse_filter = coarse_filter
         #: Vector-clock probes the fast path actually performed (pruned
         #: search), for diagnostics/benchmarks.  Deliberately *not* part of
         #: DetectorStats: the model figure there stays the naive count.
@@ -340,11 +370,36 @@ class RaceDetector:
         else:
             resolvable = check_list
 
+        # Two-level filter (first level): pre-check every combination of
+        # the resolvable entries against the coarse digests that arrived
+        # piggy-backed on the interval records.  Digest-disjoint
+        # combinations are provably race-free — they leave the fetch set
+        # *and* the comparison loop; only granule hits go on.
+        plan: Dict[int, Optional[List[OverlapPage]]] = {}
+        if self.coarse_filter:
+            effective: List[CheckEntry] = []
+            checks = hits = 0
+            for entry in resolvable:
+                pages, entry_checks, entry_hits = self._filter_pages(entry)
+                checks += entry_checks
+                hits += entry_hits
+                plan[id(entry)] = pages
+                if pages:
+                    effective.append(CheckEntry(entry.a, entry.b, pages))
+            self.stats.granule_checks += checks
+            self.stats.granule_hits += hits
+            self.stats.pairs_filtered += checks - hits
+            master_clock.advance(
+                self.cost_model.granule_check * checks,
+                CostCategory.COARSE_FILTER)
+            needed = bitmaps_needed(effective)
+        else:
+            needed = bitmaps_needed(resolvable)
+
         # Step 4: the extra barrier round retrieving exactly the bitmaps
         # the check list names.  On a lossy network an owner's exchange can
         # exhaust its retry budget; those owners' bitmaps stay unavailable
         # and the affected check entries degrade to page granularity below.
-        needed = bitmaps_needed(resolvable)
         failed_owners = self._charge_bitmap_round(needed, master_clock)
         if failed_owners:
             fetched = sum(1 for pid, _idx, _page, _kind in needed
@@ -362,8 +417,9 @@ class RaceDetector:
                 new_unverifiable.extend(
                     self._report_unverifiable(entry, epoch))
                 continue
-            new_races.extend(self._compare_entry(entry, epoch, master_clock,
-                                                 failed_owners))
+            new_races.extend(self._compare_entry(
+                entry, epoch, master_clock, failed_owners,
+                pages=plan.get(id(entry)) if self.coarse_filter else None))
         self.unverifiable.extend(new_unverifiable)
 
         self.stats.epoch_history.append(EpochSummary(
@@ -540,14 +596,36 @@ class RaceDetector:
                           if not (e.a.lost or e.b.lost)]
         else:
             resolvable = check_list
-        res.needed = bitmaps_needed(resolvable)
+        # Two-level filter, shard-side: identical digest pre-checks on the
+        # owner's clock.  Blocks partition the centralized entries exactly,
+        # so the per-shard counters sum to the centralized figures and the
+        # committed stats stay engine-independent.
+        fplan: Dict[int, Optional[List[OverlapPage]]] = {}
+        if self.coarse_filter:
+            effective: List[CheckEntry] = []
+            for entry in resolvable:
+                pages, entry_checks, entry_hits = self._filter_pages(entry)
+                res.granule_checks += entry_checks
+                res.granule_hits += entry_hits
+                res.pairs_filtered += entry_checks - entry_hits
+                fplan[id(entry)] = pages
+                if pages:
+                    effective.append(CheckEntry(entry.a, entry.b, pages))
+            clock.advance(self.cost_model.granule_check * res.granule_checks,
+                          CostCategory.COARSE_FILTER)
+            res.needed = bitmaps_needed(effective)
+        else:
+            res.needed = bitmaps_needed(resolvable)
         res.fetch_messages, res.fetch_bytes = self._charge_shard_bitmap_round(
             shard.owner, res.needed, clock)
         for entry in check_list:
             if plan.lost_present and (entry.a.lost or entry.b.lost):
                 res.items.append(self._shard_unverifiable_item(entry, epoch))
             else:
-                item = self._shard_race_item(entry, epoch, clock, res)
+                item = self._shard_race_item(
+                    entry, epoch, clock, res,
+                    pages=fplan.get(id(entry)) if self.coarse_filter
+                    else None)
                 if item is not None:
                     res.items.append(item)
         return res
@@ -612,6 +690,9 @@ class RaceDetector:
         self.stats.bitmaps_fetched += fetched
         self.stats.bitmap_comparisons += sum(r.bitmap_comparisons
                                              for r in results)
+        self.stats.granule_checks += sum(r.granule_checks for r in results)
+        self.stats.granule_hits += sum(r.granule_hits for r in results)
+        self.stats.pairs_filtered += sum(r.pairs_filtered for r in results)
 
         new_races: List[RaceReport] = []
         new_unverifiable: List[RaceReport] = []
@@ -689,15 +770,16 @@ class RaceDetector:
         return nmsgs, nbytes
 
     def _shard_race_item(self, entry: CheckEntry, epoch: int,
-                         clock: VirtualClock,
-                         res: ShardResult) -> Optional[ShardItem]:
+                         clock: VirtualClock, res: ShardResult,
+                         pages: Optional[List[OverlapPage]] = None
+                         ) -> Optional[ShardItem]:
         """Dedup-free mirror of ``_compare_entry``: same page/combination
         order, same BITMAPS charge per comparison, but every intersection
         bit becomes a candidate — first-occurrence dedup is the
         coordinator's commit step, where the global order is known."""
         a, b = entry.a, entry.b
         reports: List[RaceReport] = []
-        for ov in entry.pages:
+        for ov in (entry.pages if pages is None else pages):
             if ov.write_write:
                 reports.extend(self._shard_intersect(
                     a, "write", a.write_bitmaps.get(ov.page),
@@ -812,9 +894,45 @@ class RaceDetector:
                 self.stats.bitmap_rounds_failed += 1
         return failed
 
+    def _filter_pages(self, entry: CheckEntry
+                      ) -> Tuple[List[OverlapPage], int, int]:
+        """Granule pre-check of one check entry: returns the surviving
+        overlap pages (combination flags cleared where the digests prove
+        the word bitmaps disjoint, pages with no surviving flag dropped)
+        plus the (checks, hits) counts for stats and cycle charging."""
+        a, b = entry.a, entry.b
+        out: List[OverlapPage] = []
+        checks = hits = 0
+        for ov in entry.pages:
+            ww = arbw = awbr = False
+            if ov.write_write:
+                checks += 1
+                if not digests_disjoint(a.digest(ov.page, "write"),
+                                        b.digest(ov.page, "write")):
+                    ww = True
+                    hits += 1
+            if ov.a_read_b_write:
+                checks += 1
+                if not digests_disjoint(a.digest(ov.page, "read"),
+                                        b.digest(ov.page, "write")):
+                    arbw = True
+                    hits += 1
+            if ov.a_write_b_read:
+                checks += 1
+                if not digests_disjoint(a.digest(ov.page, "write"),
+                                        b.digest(ov.page, "read")):
+                    awbr = True
+                    hits += 1
+            if ww or arbw or awbr:
+                out.append(OverlapPage(page=ov.page, write_write=ww,
+                                       a_read_b_write=arbw,
+                                       a_write_b_read=awbr))
+        return out, checks, hits
+
     def _compare_entry(self, entry: CheckEntry, epoch: int,
                        master_clock: VirtualClock,
-                       failed_owners: Set[int] = frozenset()
+                       failed_owners: Set[int] = frozenset(),
+                       pages: Optional[List[OverlapPage]] = None
                        ) -> List[RaceReport]:
         races: List[RaceReport] = []
         a, b = entry.a, entry.b
@@ -822,11 +940,14 @@ class RaceDetector:
                               or b.pid in failed_owners):
             # Word bitmaps for one side never arrived: degrade this entry
             # to explicit page-granularity reports rather than dropping it.
+            # Deliberately over the *unfiltered* pages: with the exchange
+            # failed, the conservative page-granularity report matches
+            # what the filter-off detector would emit.
             for ov in entry.pages:
                 races.extend(self._report_page_granularity(
                     entry, ov, epoch))
             return races
-        for ov in entry.pages:
+        for ov in (entry.pages if pages is None else pages):
             if ov.write_write:
                 races.extend(self._intersect(
                     a, "write", a.write_bitmaps.get(ov.page),

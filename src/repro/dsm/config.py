@@ -139,6 +139,24 @@ class DsmConfig:
             (``--detection-shards``); 0 (default) means every live
             process owns a shard.  1 degenerates to coordinator-local
             detection.  Requires ``sharded_detection``.
+        coarse_filter: Two-level detection filter (``--coarse-filter`` /
+            ``--no-coarse-filter``; default **on**).  Each interval
+            record piggy-backs a coarse per-page access digest — a
+            16-word-granule mini-bitmap, plus a Bloom filter of the exact
+            word offsets for sparse access sets — on the write/read
+            notices it already ships, so whichever engine runs detection
+            (the centralized master or the sharded owners) can prove
+            most page-overlapping combinations race-free from data in
+            hand, issuing the bitmap-fetch round only for granule hits.
+            The pre-check is conservative (digest-disjoint implies the
+            word bitmaps cannot intersect), so **race reports are
+            byte-identical with the filter on or off** — only the fetch
+            traffic, the BITMAPS/SHARDED_DETECT comparison charges, and
+            wall-clock shrink.  Digest carriage and granule-check cycles
+            are priced under ``CostCategory.COARSE_FILTER``, outside the
+            overhead breakdown.  Inert without ``detection``; the paper
+            harness pins it off so Tables 1–3 and Figures 3–4 stay
+            byte-identical to the unfiltered pipeline.
         checkpoint: Take barrier-consistent in-memory checkpoints of every
             node (enables recovery with no lost metadata).
         checkpoint_dir: Directory to persist checkpoints to
@@ -221,6 +239,7 @@ class DsmConfig:
     election_timeout: float = DEFAULT_ELECTION_TIMEOUT
     sharded_detection: bool = False
     detection_shards: int = 0
+    coarse_filter: bool = True
     checkpoint: bool = False
     checkpoint_dir: Optional[str] = None
     checkpoint_delta: bool = False

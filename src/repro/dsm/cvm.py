@@ -197,6 +197,10 @@ class CVM:
         self._crasher = CrashInjector(cplan) if cplan is not None else None
         self.crash_stats = CrashStats()
         self.sharding_stats = ShardingStats()
+        # Two-level detection filter: when on (and detecting), every
+        # consistency payload also carries the coarse access digests the
+        # filter consults, priced by _charge_digests at each ship site.
+        self._coarse = config.detection and config.coarse_filter
         self.checkpoints: Optional[CheckpointManager] = None
         # Cross-run resume (--resume-from): re-execute deterministically
         # and, at the barrier generation the directory covers for every
@@ -278,7 +282,8 @@ class CVM:
             config.page_size_words, config.cost_model, self.sizer,
             self.net, self.segment.symbol_for, master_pid=master_pid,
             first_races_only=config.first_races_only,
-            fast_path=config.detector_fast_path)
+            fast_path=config.detector_fast_path,
+            coarse_filter=config.coarse_filter)
 
     @property
     def detector(self) -> Optional[RaceDetector]:
@@ -607,6 +612,25 @@ class CVM:
                 read_bytes += rec.read_notice_wire_size(self.sizer)
         return recs, body, read_bytes
 
+    def _charge_digests(self, recs: Sequence[Interval], clock) -> None:
+        """Two-level filter carriage: price the coarse digests
+        piggy-backed on this consistency payload's notice lists (one per
+        write notice and, with detection, per read notice).  Charged in
+        cycles on the shipping side under ``CostCategory.COARSE_FILTER``
+        — message bodies are *not* inflated, so every filter-off wire
+        figure (fragment counts, per-tag byte totals, Table 3's overhead
+        fraction) is untouched.  No-op unless detection and the filter
+        are both on."""
+        if not self._coarse:
+            return
+        nbytes = 0
+        for rec in recs:
+            nbytes += rec.digest_wire_size(self.sizer)
+        if nbytes:
+            clock.advance(self.config.cost_model.cycles_per_byte * nbytes,
+                          CostCategory.COARSE_FILTER)
+            self.transport.stats.add_digest_bytes(nbytes)
+
     def _apply_consistency(self, node: Node, recs: List[Interval],
                            horizon: VectorClock) -> None:
         """Acquire-side application: invalidate per write notices, then
@@ -689,14 +713,15 @@ class CVM:
         if granter != node.pid:
             horizon = st.last_release_vc
             if horizon is not None:
-                _recs, body, read_bytes = self._consistency_payload(
+                grant_recs, body, read_bytes = self._consistency_payload(
                     node.vc, horizon)
             else:
-                body, read_bytes = sizer.vector_clock(), 0
+                grant_recs, body, read_bytes = [], sizer.vector_clock(), 0
             msg = self.net.send("lock_grant", granter, node.pid, None,
                                       body, clock, fragmentable=self.config.fragmentable_messages)
             if read_bytes:
                 self.transport.stats.add_read_notice_bytes(read_bytes)
+            self._charge_digests(grant_recs, clock)
             clock.wait_until(msg.arrival_time)
 
     def lock_release(self, pid: int, lid: int) -> None:
@@ -719,12 +744,13 @@ class CVM:
                 self.lock_order.record_grant(lid, nxt)
                 if self.trace_recorder is not None:
                     self._charge_record(node)  # the releaser does the work
-            _recs, body, read_bytes = self._consistency_payload(
+            grant_recs, body, read_bytes = self._consistency_payload(
                 self.nodes[nxt].vc, st.last_release_vc)
             msg = self.net.send("lock_grant", pid, nxt, None, body,
                                       node.clock, fragmentable=self.config.fragmentable_messages)
             if read_bytes:
                 self.transport.stats.add_read_notice_bytes(read_bytes)
+            self._charge_digests(grant_recs, node.clock)
             st.grant_box[nxt] = GrantInfo(pid, st.last_release_vc,
                                           msg.arrival_time)
             self.scheduler.unblock(nxt)
@@ -792,6 +818,7 @@ class CVM:
                                                             ev.set_vc)
         if read_bytes:
             self.transport.stats.add_read_notice_bytes(read_bytes)
+        self._charge_digests(recs, node.clock)
         self._apply_consistency(node, recs, ev.set_vc)
         node.open_interval(f"event({eid}) wait")
 
@@ -822,6 +849,7 @@ class CVM:
                                       fragmentable=self.config.fragmentable_messages)
             if read_bytes:
                 self.transport.stats.add_read_notice_bytes(read_bytes)
+            self._charge_digests(recs, node.clock)
             self._apply_consistency(master_node, recs, horizon)
             arrival_now = msg.arrival_time
         else:
@@ -880,6 +908,7 @@ class CVM:
                                       fragmentable=self.config.fragmentable_messages)
             if read_bytes:
                 self.transport.stats.add_read_notice_bytes(read_bytes)
+            self._charge_digests(recs, master_clock)
             for rec in recs:
                 self.protocol.apply_write_notice(self.nodes[other], rec)
             bar.release_box[other] = (release_vc, msg.arrival_time)
@@ -1056,6 +1085,7 @@ class CVM:
                 msg = self.net.send("detect_shard", src, dst, None, body,
                                     clocks[src], category=cat,
                                     fragmentable=True)
+                self._charge_digests(list(edge_recs.values()), clocks[src])
                 clocks[dst].wait_until(msg.arrival_time)
                 sh.scatter_messages += 1
                 sh.bytes_scattered += msg.nbytes
@@ -1189,6 +1219,7 @@ class CVM:
                                 body, clock,
                                 category=CostCategory.FAILOVER,
                                 fragmentable=True)
+            self._charge_digests(recs, clock)
             clock.wait_until(msg.arrival_time)
             self._apply_consistency(new_node, recs, horizon)
             role.stats.records_resolicited += len(recs)

@@ -18,9 +18,9 @@ barrier round (§4, step 4).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, Optional, Set, Tuple
 
-from repro.core.bitmap import Bitmap
+from repro.core.bitmap import Bitmap, Digest, coarse_digest
 from repro.dsm.vector_clock import VectorClock, concurrent
 from repro.net.message import WireSizer
 
@@ -30,7 +30,7 @@ class Interval:
 
     __slots__ = ("pid", "index", "vc", "epoch", "write_pages", "read_pages",
                  "write_bitmaps", "read_bitmaps", "closed",
-                 "page_size_words", "sync_label", "lost")
+                 "page_size_words", "sync_label", "lost", "_digests")
 
     def __init__(self, pid: int, index: int, vc: VectorClock, epoch: int,
                  page_size_words: int, sync_label: str = ""):
@@ -56,6 +56,9 @@ class Interval:
         #: and the check list — but any check pair touching it is reported
         #: as ``verdict="unverifiable"`` instead of being bitmap-resolved.
         self.lost = False
+        #: Finalized coarse digests, keyed (page, "write"|"read"), cached
+        #: once the interval is closed (see :meth:`digest`).
+        self._digests: Dict[Tuple[int, str], Digest] = {}
 
     # ------------------------------------------------------------------ #
     # Access recording (called by the instrumentation runtime).
@@ -103,6 +106,8 @@ class Interval:
             self.write_bitmaps[page] = bm.copy()
         else:
             mine.union_update(bm)
+        # The merged bitmap supersedes any digest finalized earlier.
+        self._digests.pop((page, "write"), None)
 
     def close(self) -> None:
         """Freeze the interval at the release/acquire that ends it."""
@@ -144,6 +149,35 @@ class Interval:
         one-int list header that base CVM would not send: with detection
         off the list is absent entirely, so the whole list is overhead)."""
         return sizer.notice_list(len(self.read_pages))
+
+    # ------------------------------------------------------------------ #
+    # Coarse digests (two-level detection filter).
+    # ------------------------------------------------------------------ #
+    def digest(self, page: int, kind: str) -> Digest:
+        """The coarse digest the filter consults for one (page, kind)
+        access set — finalized lazily from the word bitmap's incremental
+        granule mask, cached once the interval is closed (open intervals
+        can still grow, and §6.5 diff merges can arrive after the close
+        and invalidate the cache entry for that page)."""
+        key = (page, kind)
+        cached = self._digests.get(key)
+        if cached is None:
+            bms = self.write_bitmaps if kind == "write" else self.read_bitmaps
+            cached = coarse_digest(bms.get(page), self.page_size_words)
+            if self.closed:
+                self._digests[key] = cached
+        return cached
+
+    def digest_wire_size(self, sizer: WireSizer) -> int:
+        """Bytes the coarse digests add to this record when the two-level
+        filter piggy-backs them on the notice lists (one digest per write
+        notice and, with detection, per read notice)."""
+        size = 0
+        for page in self.write_pages:
+            size += sizer.digest(self.digest(page, "write")[1] is not None)
+        for page in self.read_pages:
+            size += sizer.digest(self.digest(page, "read")[1] is not None)
+        return size
 
     def __repr__(self) -> str:
         return (f"Interval(P{self.pid}:{self.index}, epoch={self.epoch}, "

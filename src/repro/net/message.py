@@ -80,6 +80,14 @@ class WireSizer:
         self._vc_bytes = INT_BYTES * nprocs
         self._bitmap_bytes = page_size_words // 8
         self._page_data_bytes = page_size_words * 8
+        # Coarse-digest granule mask, folded to <= 64 bits (see
+        # repro.core.bitmap.digest_width_bits): recomputed here as pure
+        # arithmetic so sizing never imports the bitmap layer.
+        ngran = (page_size_words + 15) // 16
+        while ngran > 64:
+            ngran = (ngran + 1) // 2
+        self._digest_bytes = 1 + (ngran + 7) // 8  # mode flag + granule mask
+        self._bloom_bytes = 64 // 8
 
     # -- primitive fields ------------------------------------------------ #
     def ints(self, n: int = 1) -> int:
@@ -108,6 +116,12 @@ class WireSizer:
     def bitmap(self) -> int:
         """A word-granularity access bitmap for one page: one bit per word."""
         return self._bitmap_bytes
+
+    def digest(self, with_bloom: bool) -> int:
+        """One coarse access digest piggy-backed on a notice entry: a mode
+        flag, the folded granule mask, and — for sparse access sets — the
+        64-bit Bloom filter of the exact word offsets."""
+        return self._digest_bytes + (self._bloom_bytes if with_bloom else 0)
 
     def page_data(self, word_bytes: int = 8) -> int:
         """Full page contents (Alpha: 8-byte words)."""

@@ -25,6 +25,13 @@ class TrafficStats:
     read_notice_bytes: int = 0
     #: Bytes consumed by the extra bitmap-retrieval round (detector addition).
     bitmap_round_bytes: int = 0
+    #: Bytes of coarse access digests piggy-backed on notice lists by the
+    #: two-level detection filter (``--coarse-filter``).  Tracked apart
+    #: from the message bodies — carriage is priced in cycles under
+    #: ``CostCategory.COARSE_FILTER`` — and kept out of
+    #: :meth:`message_overhead_fraction`, whose numerator and denominator
+    #: must both count wire bytes.
+    digest_bytes: int = 0
     #: Datagrams the fault layer dropped (each forces a retransmission
     #: unless the retry budget is exhausted).
     drops: int = 0
@@ -53,6 +60,9 @@ class TrafficStats:
 
     def add_bitmap_round_bytes(self, nbytes: int) -> None:
         self.bitmap_round_bytes += nbytes
+
+    def add_digest_bytes(self, nbytes: int) -> None:
+        self.digest_bytes += nbytes
 
     @property
     def total_messages(self) -> int:

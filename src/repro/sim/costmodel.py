@@ -90,6 +90,15 @@ class CostCategory(enum.Enum):
     #: :data:`OVERHEAD_CATEGORIES`, so with record mode off (the default)
     #: every regenerated table and figure stays byte-identical.
     RECORD = "record"
+    #: Two-level detection filter (``--coarse-filter``): the coarse-digest
+    #: bytes piggy-backed on interval records and the granule pre-checks
+    #: that prove most page-overlapping pairs race-free before any bitmap
+    #: is fetched.  The savings land in the BITMAPS (centralized) and
+    #: SHARDED_DETECT (shard owners) categories as *fewer* fetches and
+    #: comparisons; the filter's own cost is priced here, outside
+    #: :data:`OVERHEAD_CATEGORIES`, so with the filter disabled every
+    #: regenerated table and figure stays byte-identical.
+    COARSE_FILTER = "coarse_filter"
 
     @property
     def is_overhead(self) -> bool:
@@ -202,6 +211,17 @@ class CostModel:
     #: Serializing one byte of the hash-framed trace file at the end of a
     #: record run (same storage model as checkpoint writes).
     record_flush_per_byte: float = 0.5
+
+    # ------------------------------------------------------------------ #
+    # Two-level filter costs (all charged to COARSE_FILTER; zero with the
+    # filter disabled).  Digest *carriage* on synchronization messages is
+    # priced via cycles_per_byte against the digest wire size.
+    # ------------------------------------------------------------------ #
+    #: One granule pre-check of a check-list combination: two 64-bit mask
+    #: ANDs (granule mask, then Bloom on a granule collision) plus the
+    #: digest table lookups.  Folds in the amortized per-digest finalize
+    #: (a handful of shifts over the incrementally-maintained mask).
+    granule_check: float = 4.0
 
     def seconds(self, cycles: float) -> float:
         """Convert a cycle count to virtual seconds."""

@@ -30,11 +30,25 @@ def test_properly_synchronized_is_race_free():
 
 def test_pipelined_sharing_exercises_bitmaps_without_races():
     """Rows interleave on pages: page-level overlap (pivot-row readers vs
-    trailing-row writers) is pure false sharing."""
-    res = run(nprocs=4)
+    trailing-row writers) is pure false sharing.  The two-level filter is
+    pinned off: this test exercises the unfiltered bitmap round."""
+    res = run(nprocs=4, coarse_filter=False)
     st = res.detector_stats
     assert st.overlapping_pairs > 0
     assert st.bitmaps_fetched > 0
+    assert res.races == []
+
+
+def test_coarse_filter_proves_false_sharing_without_fetches():
+    """The same false sharing through the two-level filter: the granule
+    digests prove every overlapping pair race-free, so the bitmap round
+    vanishes entirely — and the verdicts are unchanged."""
+    res = run(nprocs=4)  # coarse_filter defaults on
+    st = res.detector_stats
+    assert st.overlapping_pairs > 0
+    assert st.bitmaps_fetched == 0
+    assert st.pairs_filtered > 0
+    assert st.granule_hits == 0
     assert res.races == []
 
 

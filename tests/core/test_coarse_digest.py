@@ -1,0 +1,199 @@
+"""Property and fuzz tests of the two-level filter's coarse digests.
+
+The filter is only sound if ``digests_disjoint(a, b)`` implies the word
+bitmaps do not intersect — for every access pattern, page size, and
+construction path (incremental set/set_range, ``from_bytes`` restore,
+``copy``, ``union_update``).  These tests drive random and adversarial
+patterns through all of them and check the invariant directly against
+the exact bitmaps.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bitmap import (BLOOM_SPARSE_MAX, DIGEST_MAX_BITS,
+                               GRANULE_WORDS, Bitmap, _coarse_of,
+                               bloom_word_mask, coarse_digest,
+                               digest_width_bits, digests_disjoint)
+from repro.dsm.interval import Interval
+from repro.dsm.vector_clock import VectorClock
+
+SIZES = [8, 16, 24, 64, 256, 1024, 2048, 4096]
+
+
+def random_bitmap(rng: random.Random, nbits: int) -> Bitmap:
+    """Build a bitmap through a random mix of every mutation path."""
+    bm = Bitmap(nbits)
+    for _ in range(rng.randrange(6)):
+        op = rng.randrange(3)
+        if op == 0:
+            bm.set(rng.randrange(nbits))
+        elif op == 1:
+            start = rng.randrange(nbits)
+            bm.set_range(start, rng.randrange(1, nbits - start + 1))
+        else:
+            other = Bitmap(nbits)
+            other.set(rng.randrange(nbits))
+            bm.union_update(other)
+    if rng.randrange(3) == 0:
+        bm = Bitmap.from_bytes(bm.to_bytes())
+    if rng.randrange(3) == 0:
+        bm = bm.copy()
+    return bm
+
+
+@pytest.mark.parametrize("nbits", SIZES)
+def test_incremental_coarse_mask_matches_recompute(nbits):
+    rng = random.Random(nbits)
+    for _ in range(60):
+        bm = random_bitmap(rng, nbits)
+        assert bm.coarse_mask == _coarse_of(bm.to_bytes())
+
+
+@pytest.mark.parametrize("nbits", SIZES)
+def test_digest_disjoint_implies_bitmaps_disjoint(nbits):
+    """The soundness invariant, fuzzed: a digest verdict of 'disjoint'
+    must never contradict the exact word-bitmap intersection."""
+    rng = random.Random(7919 + nbits)
+    for _ in range(120):
+        a = random_bitmap(rng, nbits)
+        b = random_bitmap(rng, nbits)
+        da = coarse_digest(a, nbits)
+        db = coarse_digest(b, nbits)
+        if digests_disjoint(da, db):
+            assert not a.overlaps(b)
+        # And sharing a word always collides (no false negatives that
+        # would hide a race): overlap => digests hit.
+        if a.overlaps(b):
+            assert not digests_disjoint(da, db)
+
+
+def test_granule_and_page_boundary_edges():
+    """set/set_range exactly at granule and page edges land in the right
+    granule bits."""
+    nbits = 64
+    bm = Bitmap(nbits)
+    bm.set(GRANULE_WORDS - 1)          # last word of granule 0
+    assert bm.coarse_mask == 0b0001
+    bm.set(GRANULE_WORDS)              # first word of granule 1
+    assert bm.coarse_mask == 0b0011
+    bm.set(nbits - 1)                  # last word of the page
+    assert bm.coarse_mask == 0b1011
+    span = Bitmap(nbits)
+    span.set_range(GRANULE_WORDS - 1, 2)   # straddles granules 0-1
+    assert span.coarse_mask == 0b0011
+    full = Bitmap(nbits)
+    full.set_range(0, nbits)
+    assert full.coarse_mask == 0b1111
+    one = Bitmap(nbits)
+    one.set_range(nbits - 1, 1)        # count==1 fast path at the edge
+    assert one.coarse_mask == 0b1000
+    assert one.test(nbits - 1)
+
+
+def test_digest_width_folds_large_pages():
+    """Granule masks wider than DIGEST_MAX_BITS fold pairwise; the folded
+    digest stays sound."""
+    nbits = GRANULE_WORDS * DIGEST_MAX_BITS * 4  # 4x too many granules
+    assert digest_width_bits(nbits) <= DIGEST_MAX_BITS
+    a = Bitmap(nbits)
+    b = Bitmap(nbits)
+    a.set_range(0, 40)                       # low granules
+    b.set(nbits - 1)                         # the very last granule
+    da, db = coarse_digest(a, nbits), coarse_digest(b, nbits)
+    assert da[0].bit_length() <= DIGEST_MAX_BITS
+    assert db[0].bit_length() <= DIGEST_MAX_BITS
+    assert digests_disjoint(da, db)
+    b.set(3)                                 # now truly overlapping region
+    assert not digests_disjoint(coarse_digest(a, nbits),
+                                coarse_digest(b, nbits))
+
+
+def test_bloom_separates_same_granule_sparse_sets():
+    """The granule mask's worst case — distinct words in one granule —
+    is what the Bloom fallback exists for."""
+    nbits = 64
+    a, b = Bitmap(nbits), Bitmap(nbits)
+    a.set(0)
+    b.set(1)
+    da, db = coarse_digest(a, nbits), coarse_digest(b, nbits)
+    assert da[0] == db[0] == 1           # same granule: mask can't help
+    assert da[1] is not None and db[1] is not None
+    if not (bloom_word_mask(0) & bloom_word_mask(1)):
+        assert digests_disjoint(da, db)
+    # Same word always collides, whatever the hash does.
+    b2 = Bitmap(nbits)
+    b2.set(0)
+    assert not digests_disjoint(da, coarse_digest(b2, nbits))
+
+
+def test_dense_sets_drop_the_bloom():
+    nbits = 256
+    bm = Bitmap(nbits)
+    bm.set_range(0, BLOOM_SPARSE_MAX + 1)
+    assert coarse_digest(bm, nbits)[1] is None
+    sparse = Bitmap(nbits)
+    sparse.set_range(0, BLOOM_SPARSE_MAX)
+    assert coarse_digest(sparse, nbits)[1] is not None
+
+
+def test_absent_bitmap_digests_empty():
+    """An absent bitmap is an empty access set: disjoint from everything,
+    including another absent bitmap."""
+    empty = coarse_digest(None, 1024)
+    assert empty == (0, 0)
+    assert digests_disjoint(empty, empty)
+    full = Bitmap(1024)
+    full.set_range(0, 1024)
+    assert digests_disjoint(empty, coarse_digest(full, 1024))
+
+
+def make_interval(page_size=64, **kw):
+    return Interval(pid=0, index=1, vc=VectorClock.zero(2), epoch=0,
+                    page_size_words=page_size, **kw)
+
+
+def test_interval_digest_cache_and_merge_invalidation():
+    """Closed intervals cache finalized digests; a §6.5 diff merge after
+    the close must invalidate the affected page's write digest."""
+    iv = make_interval()
+    iv.record_write(3, 0)
+    d_open = iv.digest(3, "write")
+    assert not iv._digests            # open: never cached
+    iv.record_write(3, 17)            # still legal while open
+    assert iv.digest(3, "write") != d_open
+    iv.close()
+    cached = iv.digest(3, "write")
+    assert iv._digests[(3, "write")] == cached
+    diff_bm = Bitmap(64)
+    diff_bm.set(33)
+    iv.merge_write_bitmap(3, diff_bm)
+    assert (3, "write") not in iv._digests
+    merged = iv.digest(3, "write")
+    assert merged[0] == cached[0] | (1 << 2)
+
+
+def test_interval_digests_match_bitmaps_for_both_kinds():
+    iv = make_interval()
+    iv.record_read(1, 5)
+    iv.record_write(2, 40, count=10)
+    iv.close()
+    assert iv.digest(1, "read") == coarse_digest(iv.read_bitmaps[1], 64)
+    assert iv.digest(2, "write") == coarse_digest(iv.write_bitmaps[2], 64)
+    # A page with no recorded access of that kind digests empty.
+    assert iv.digest(1, "write") == (0, 0)
+
+
+def test_checkpoint_restore_regenerates_coarse_state():
+    """Digests are derived state: a bitmap rebuilt from checkpoint bytes
+    recomputes the identical coarse mask, so restored intervals filter
+    exactly like the originals."""
+    rng = random.Random(42)
+    for nbits in (64, 1024):
+        for _ in range(30):
+            bm = random_bitmap(rng, nbits)
+            restored = Bitmap.from_bytes(bm.to_bytes())
+            assert restored == bm
+            assert restored.coarse_mask == bm.coarse_mask
+            assert coarse_digest(restored, nbits) == coarse_digest(bm, nbits)

@@ -55,12 +55,31 @@ def test_false_sharing_not_a_race_but_uses_bitmaps():
         env.store(x + env.pid, 1)  # same page, disjoint words
         env.barrier()
 
-    res = run_app(app, nprocs=4)
+    # Filter pinned off: this test exercises the unfiltered bitmap round.
+    res = run_app(app, nprocs=4, coarse_filter=False)
     assert res.races == []
     st = res.detector_stats
     assert st.overlapping_pairs > 0      # page-level overlap happened
     assert st.bitmaps_fetched > 0        # bitmaps were needed to decide
     assert st.intervals_used > 0
+
+
+def test_coarse_filter_skips_bloom_separable_false_sharing():
+    """The same false sharing with the two-level filter on: the writes
+    share a granule, but the sparse-set Bloom digests are disjoint, so
+    every fetch is skipped and the verdicts are unchanged."""
+    def app(env):
+        x = env.malloc(16, name="x")
+        env.barrier()
+        env.store(x + env.pid, 1)
+        env.barrier()
+
+    res = run_app(app, nprocs=4)  # coarse_filter defaults on
+    assert res.races == []
+    st = res.detector_stats
+    assert st.overlapping_pairs > 0
+    assert st.bitmaps_fetched == 0
+    assert st.pairs_filtered == st.granule_checks > 0
 
 
 def test_disjoint_pages_skip_bitmaps_entirely():

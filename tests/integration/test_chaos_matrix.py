@@ -260,6 +260,46 @@ def test_resume_past_election_with_sharded_detection(tmp_path):
 
 
 # ---------------------------------------------------------------------- #
+# The two-level filter joins the matrix: under crashes, a lossy network
+# and sharded detection simultaneously, filter-on reports must stay
+# byte-identical to filter-off (the filter only skips comparisons the
+# digests prove empty) — and to the clean run, checkpoints on.
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("crash_rate,loss_rate", MATRIX)
+def test_chaos_cell_coarse_filter_byte_identical(crash_rate, loss_rate,
+                                                 tsp_free):
+    for seed in SEEDS:
+        kwargs = dict(nprocs=4, crash_rate=crash_rate, crash_seed=seed,
+                      loss_rate=loss_rate, fault_seed=seed,
+                      checkpoint=True, sharded_detection=True)
+        on = get_app("tsp").run(coarse_filter=True, **kwargs)
+        off = get_app("tsp").run(coarse_filter=False, **kwargs)
+        assert _report_lines(on) == _report_lines(off) \
+            == _report_lines(tsp_free), (
+                f"filter changed the report at crash={crash_rate} "
+                f"loss={loss_rate} seed={seed}")
+        assert on.unverifiable == off.unverifiable == []
+
+
+def test_chaos_filter_cells_exercise_the_filter():
+    """The filter matrix is vacuous unless some cell actually filters
+    pairs and some cell actually crashes/drops."""
+    filtered = crashes = retransmits = 0
+    for crash_rate, loss_rate in MATRIX:
+        for seed in SEEDS:
+            res = get_app("tsp").run(
+                nprocs=4, crash_rate=crash_rate, crash_seed=seed,
+                loss_rate=loss_rate, fault_seed=seed, checkpoint=True,
+                sharded_detection=True, coarse_filter=True)
+            filtered += res.detector_stats.pairs_filtered
+            crashes += res.crash_stats.crashes
+            retransmits += res.traffic.retransmits
+    assert filtered > 0
+    assert crashes > 0
+    assert retransmits > 0
+
+
+# ---------------------------------------------------------------------- #
 # Journal durability: a torn coordinator-journal write must be detected
 # on restore and fall back to the checkpointed coordinator section —
 # never installed as garbage, never fatal.

@@ -61,20 +61,23 @@ def test_breakdown_with_zero_base():
 def test_overhead_categories_cover_everything_but_base():
     # RETRANSMIT (network robustness), RECOVERY (crash tolerance),
     # FAILOVER (coordinator election/state migration), SHARDED_DETECT
-    # (detection-sharding protocol traffic) and RECORD (two-phase
-    # record-mode trace capture) are overhead outside the paper's
-    # Figure 3 taxonomy: is_overhead, but deliberately not Figure 3
-    # categories (keeps regenerated tables byte-identical with faults,
-    # crashes, failover, sharding and record mode off).
+    # (detection-sharding protocol traffic), RECORD (two-phase
+    # record-mode trace capture) and COARSE_FILTER (two-level filter
+    # digest carriage and granule checks) are overhead outside the
+    # paper's Figure 3 taxonomy: is_overhead, but deliberately not
+    # Figure 3 categories (keeps regenerated tables byte-identical with
+    # faults, crashes, failover, sharding, record mode and the filter
+    # off).
     assert set(OVERHEAD_CATEGORIES) == \
         set(CostCategory) - {CostCategory.BASE, CostCategory.RETRANSMIT,
                              CostCategory.RECOVERY, CostCategory.FAILOVER,
                              CostCategory.SHARDED_DETECT,
-                             CostCategory.RECORD}
+                             CostCategory.RECORD,
+                             CostCategory.COARSE_FILTER}
     assert all(cat.is_overhead for cat in OVERHEAD_CATEGORIES)
     for cat in (CostCategory.RETRANSMIT, CostCategory.RECOVERY,
                 CostCategory.FAILOVER, CostCategory.SHARDED_DETECT,
-                CostCategory.RECORD):
+                CostCategory.RECORD, CostCategory.COARSE_FILTER):
         assert cat.is_overhead
         assert cat not in OVERHEAD_CATEGORIES
     assert not CostCategory.BASE.is_overhead
