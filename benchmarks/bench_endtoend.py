@@ -51,7 +51,11 @@ def _workloads(quick: bool) -> List[Tuple[str, int, object, bool]]:
     """(app, nprocs, params, stress?) rows. queue_racy is pinned at its
     3-process schedule; every other app runs at 8 and 16."""
     if quick:
-        return [("tsp", 8, None, False), ("sor", 16, STRESS_PARAMS, True)]
+        # One regular kernel, one irregular bridge-backed app (heap
+        # churn through the instrument→dsm bridge), plus the gated
+        # stress row — so CI smoke covers every app class.
+        return [("tsp", 8, None, False), ("hashtab", 8, None, False),
+                ("sor", 16, STRESS_PARAMS, True)]
     rows: List[Tuple[str, int, object, bool]] = []
     for app in sorted(APPLICATIONS) + sorted(EXTRAS):
         if app == "queue_racy":

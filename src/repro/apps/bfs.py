@@ -1,0 +1,114 @@
+"""Parallel graph traversal over heap-allocated nodes — DSL workload.
+
+Pid 0 builds a complete binary tree of ``Node`` records on the shared
+heap and publishes the root through the bridge mailbox.  Every pid then
+traverses the whole tree with an explicit stack (a frontier of node
+pointers in a stack array), applying a *visitor passed as a function
+value* to each node — the indirect call (``la`` + ``callr``) is on the
+hot path of every visit.
+
+Racy variant (default): visitors bump each node's ``visits`` counter
+and a shared total in the mailbox with no synchronization — every pid
+races every other on every node (write-write on ``visits``, and on the
+mailbox total).
+
+``with_sync=True``: each visit and the total update run under
+``BFS_LOCK`` — same traversal, zero races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.dsl import run_dsl_app
+from repro.dsm.cvm import Env
+
+BFS_LOCK = 12
+
+SOURCE = """
+struct Node { val; visits; left: Node; right: Node; }
+
+func build(depth, counter) {
+  local n: Node; local c;
+  n = new Node;
+  c = counter[0];
+  n.val = c;
+  counter[0] = c + 1;
+  n.visits = 0;
+  n.left = 0;
+  n.right = 0;
+  if (1 < depth) {
+    n.left = build(depth - 1, counter);
+    n.right = build(depth - 1, counter);
+  }
+  return n;
+}
+
+func visit_racy(n: Node) {
+  n.visits = n.visits + 1;
+  return n.val;
+}
+
+func visit_locked(n: Node) {
+  local v;
+  lock(12);
+  n.visits = n.visits + 1;
+  v = n.val;
+  unlock(12);
+  return v;
+}
+
+func traverse(root: Node, visitor) {
+  local top; local sum; local n: Node;
+  array stack[32];
+  stack[0] = root;
+  top = 1;
+  sum = 0;
+  while (0 < top) {
+    top = top - 1;
+    n = stack[top];
+    sum = sum + visitor(n);
+    if (n.left) { stack[top] = n.left; top = top + 1; }
+    if (n.right) { stack[top] = n.right; top = top + 1; }
+  }
+  return sum;
+}
+
+func main(pid, nprocs, mbox, ws, depth) {
+  local root: Node; local f; local s;
+  array cnt[1];
+  if (pid == 0) {
+    cnt[0] = 1;
+    root = build(depth, &cnt);
+    mbox[0] = root;
+    mbox[1] = 0;
+  }
+  barrier(0);
+  root = mbox[0];
+  f = visit_racy;
+  if (ws) { f = visit_locked; }
+  s = traverse(root, f);
+  if (ws) {
+    lock(12);
+    mbox[1] = mbox[1] + s;
+    unlock(12);
+  } else {
+    mbox[1] = mbox[1] + s;
+  }
+  barrier(0);
+  return s;
+}
+"""
+
+
+@dataclass(frozen=True)
+class BfsParams:
+    #: Visit and accumulate under BFS_LOCK.
+    with_sync: bool = False
+    #: Tree depth (complete binary tree: 2^depth - 1 nodes).
+    depth: int = 3
+
+
+def bfs(env: Env, params: BfsParams = BfsParams()) -> int:
+    return run_dsl_app(env, SOURCE, "bfs",
+                       1 if params.with_sync else 0, params.depth)

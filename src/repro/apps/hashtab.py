@@ -1,0 +1,162 @@
+"""Hash-table churn with chained buckets — DSL workload for ``delete``.
+
+Pid 0 allocates a bucket-head table on the shared heap and publishes it
+through the bridge mailbox.  Every pid inserts a disjoint block of keys
+(``pid * keys_per_pid + i``) into the shared chains, looks them all up,
+then removes its own entries with ``delete`` — so freed blocks cycle
+through the per-pid free list and a second insert round reuses them
+(the churn the exact-size free-list allocator exists for).
+
+Racy variant (default): inserts splice into bucket chains with no
+synchronization, so pids whose keys hash to the same bucket race on the
+head word (write-write) and on each other's ``next`` links; removals
+are done in pid-order phases so the chains stay walkable.
+
+``with_sync=True``: every table operation runs under ``TAB_LOCK`` and
+all phases overlap freely — same churn, zero races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.dsl import run_dsl_app
+from repro.dsm.cvm import Env
+
+TAB_LOCK = 13
+
+SOURCE = """
+struct Ent { key; val; next: Ent; }
+
+func bucket_of(key, nb) {
+  return key - (key / nb) * nb;
+}
+
+func insert(tab, nb, key, val, ws) {
+  local b; local e: Ent;
+  if (ws) { lock(13); }
+  b = bucket_of(key, nb);
+  e = new Ent;
+  e.key = key;
+  e.val = val;
+  e.next = tab[b];
+  tab[b] = e;
+  if (ws) { unlock(13); }
+  return e;
+}
+
+func lookup(tab, nb, key, ws) {
+  local b; local e: Ent; local v; local hops;
+  v = 0 - 1;
+  if (ws) { lock(13); }
+  b = bucket_of(key, nb);
+  e = tab[b];
+  hops = 0;
+  while (e) {
+    if (hops < 24) {
+      if (e.key == key) {
+        v = e.val;
+        e = 0;
+      } else {
+        e = e.next;
+      }
+      hops = hops + 1;
+    } else {
+      e = 0;
+    }
+  }
+  if (ws) { unlock(13); }
+  return v;
+}
+
+func remove(tab, nb, key, ws) {
+  local b; local e: Ent; local prev: Ent; local hops; local got;
+  got = 0;
+  if (ws) { lock(13); }
+  b = bucket_of(key, nb);
+  e = tab[b];
+  prev = 0;
+  hops = 0;
+  while (e) {
+    if (hops < 24) {
+      if (e.key == key) {
+        if (prev) { prev.next = e.next; }
+        else      { tab[b] = e.next; }
+        delete e;
+        got = 1;
+        e = 0;
+      } else {
+        prev = e;
+        e = e.next;
+      }
+      hops = hops + 1;
+    } else {
+      e = 0;
+    }
+  }
+  if (ws) { unlock(13); }
+  return got;
+}
+
+func main(pid, nprocs, mbox, wsnb, keys_per_pid, rounds) {
+  local tab; local r; local i; local k; local sum; local turn;
+  local ws; local nb;
+  ws = wsnb / 16;
+  nb = wsnb - ws * 16;
+  if (pid == 0) {
+    tab = new [16];
+    for (i = 0; i < nb; i += 1) { tab[i] = 0; }
+    mbox[0] = tab;
+  }
+  barrier(0);
+  tab = mbox[0];
+  sum = 0;
+  for (r = 0; r < rounds; r += 1) {
+    for (i = 0; i < keys_per_pid; i += 1) {
+      k = pid * keys_per_pid + i;
+      insert(tab, nb, k, 1000 * (r + 1) + k, ws);
+    }
+    for (i = 0; i < keys_per_pid; i += 1) {
+      k = pid * keys_per_pid + i;
+      sum = sum + lookup(tab, nb, k, ws);
+    }
+    barrier(0);
+    if (ws) {
+      for (i = 0; i < keys_per_pid; i += 1) {
+        sum = sum + remove(tab, nb, pid * keys_per_pid + i, ws);
+      }
+    } else {
+      for (turn = 0; turn < nprocs; turn += 1) {
+        if (turn == pid) {
+          for (i = 0; i < keys_per_pid; i += 1) {
+            sum = sum + remove(tab, nb, pid * keys_per_pid + i, ws);
+          }
+        }
+        barrier(0);
+      }
+    }
+    barrier(0);
+  }
+  return sum;
+}
+"""
+
+
+@dataclass(frozen=True)
+class HashTabParams:
+    #: Protect every table operation with TAB_LOCK.
+    with_sync: bool = False
+    #: Bucket count (table allocated with 16 heads; nb <= 16).
+    nb: int = 4
+    #: Keys each pid inserts/looks up/removes per round.
+    keys_per_pid: int = 3
+    #: Insert/lookup/remove rounds (>= 2 exercises free-list reuse).
+    rounds: int = 2
+
+
+def hashtab(env: Env, params: HashTabParams = HashTabParams()) -> int:
+    # ws and nb share one argument register (main has six already):
+    # wsnb = with_sync * 16 + nb.
+    return run_dsl_app(env, SOURCE, "hashtab",
+                       (16 if params.with_sync else 0) + params.nb,
+                       params.keys_per_pid, params.rounds)

@@ -5,11 +5,14 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.apps.base import AppSpec
+from repro.apps.bfs import BfsParams, bfs
 from repro.apps.fft import PAPER_PARAMS as FFT_PAPER
 from repro.apps.fft import FftParams, fft
+from repro.apps.hashtab import HashTabParams, hashtab
 from repro.apps.lu import PAPER_PARAMS as LU_PAPER
 from repro.apps.lu import LuParams, lu
 from repro.apps.queue_racy import QueueParams, queue_app
+from repro.apps.wsdeque import WsDequeParams, wsdeque
 from repro.apps.sor import PAPER_PARAMS as SOR_PAPER
 from repro.apps.sor import SorParams, sor
 from repro.apps.tsp import PAPER_PARAMS as TSP_PAPER
@@ -51,6 +54,25 @@ EXTRAS: Dict[str, AppSpec] = {
         name="queue_racy", func=queue_app,
         default_params=QueueParams(), paper_params=QueueParams(),
         input_description="fig. 5 queue", synchronization="none (buggy)",
+        expect_races=True),
+    # Irregular DSL workloads: compiled kernel-language programs run on
+    # the instrument->dsm bridge (repro.apps.dsl).  Defaults are the racy
+    # variants; params(with_sync=True) runs the race-free twin.
+    "wsdeque": AppSpec(
+        name="wsdeque", func=wsdeque,
+        default_params=WsDequeParams(), paper_params=WsDequeParams(),
+        input_description="8 tasks, 3 steals", synchronization="none (buggy)",
+        expect_races=True),
+    "bfs": AppSpec(
+        name="bfs", func=bfs,
+        default_params=BfsParams(), paper_params=BfsParams(),
+        input_description="depth-3 tree", synchronization="none (buggy)",
+        expect_races=True),
+    "hashtab": AppSpec(
+        name="hashtab", func=hashtab,
+        default_params=HashTabParams(), paper_params=HashTabParams(),
+        input_description="4 buckets, 2 rounds",
+        synchronization="none (buggy)",
         expect_races=True),
 }
 

@@ -1,0 +1,116 @@
+"""Work-stealing deque — an irregular, pointer-heavy DSL workload.
+
+Pid 0 owns a heap-allocated deque (a ``Deque`` record plus a buffer of
+slots); it pushes tasks at the bottom and pops some back, while every
+other pid steals from the top.  All state lives behind pointers
+published through the bridge mailbox, so every access the detector sees
+is a real instrumented machine load/store.
+
+Racy variant (default): owner and thieves manipulate ``top`` /
+``bottom`` / the buffer slots with no synchronization inside the work
+epoch — the classic steal/pop collision.  The detector reports
+same-epoch read-write and write-write races on the index words (and on
+buffer slots both sides touch).
+
+``with_sync=True``: every deque operation runs under ``DEQUE_LOCK`` —
+same workload, zero races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.dsl import run_dsl_app
+from repro.dsm.cvm import Env
+
+DEQUE_LOCK = 11
+
+SOURCE = """
+struct Deque { top; bottom; buf; }
+
+func push(d: Deque, v, ws) {
+  local b; local q;
+  if (ws) { lock(11); }
+  b = d.bottom;
+  q = d.buf;
+  q[b] = v;
+  d.bottom = b + 1;
+  if (ws) { unlock(11); }
+  return 0;
+}
+
+func pop(d: Deque, ws) {
+  local b; local q; local x;
+  x = 0 - 1;
+  if (ws) { lock(11); }
+  b = d.bottom;
+  if (d.top < b) {
+    b = b - 1;
+    d.bottom = b;
+    q = d.buf;
+    x = q[b];
+  }
+  if (ws) { unlock(11); }
+  return x;
+}
+
+func steal(d: Deque, ws) {
+  local t; local q; local x;
+  x = 0 - 1;
+  if (ws) { lock(11); }
+  t = d.top;
+  if (t < d.bottom) {
+    q = d.buf;
+    x = q[t];
+    d.top = t + 1;
+  }
+  if (ws) { unlock(11); }
+  return x;
+}
+
+func main(pid, nprocs, mbox, ws, ntasks, steals) {
+  local d: Deque; local i; local x; local sum;
+  if (pid == 0) {
+    d = new Deque;
+    d.top = 0;
+    d.bottom = 0;
+    d.buf = new [34];
+    mbox[0] = d;
+  }
+  barrier(0);
+  d = mbox[0];
+  sum = 0;
+  if (pid == 0) {
+    for (i = 0; i < ntasks; i += 1) {
+      push(d, 100 + i, ws);
+    }
+    for (i = 0; i < steals; i += 1) {
+      x = pop(d, ws);
+      if (0 - 1 < x) { sum = sum + x; }
+    }
+  } else {
+    for (i = 0; i < steals; i += 1) {
+      x = steal(d, ws);
+      if (0 - 1 < x) { sum = sum + x; }
+    }
+  }
+  barrier(0);
+  return sum;
+}
+"""
+
+
+@dataclass(frozen=True)
+class WsDequeParams:
+    #: Protect every deque operation with DEQUE_LOCK.
+    with_sync: bool = False
+    #: Tasks the owner pushes (buffer holds up to 32).
+    ntasks: int = 8
+    #: Pops (owner) / steal attempts (each thief).
+    steals: int = 3
+
+
+def wsdeque(env: Env, params: WsDequeParams = WsDequeParams()) -> int:
+    return run_dsl_app(env, SOURCE, "wsdeque",
+                       1 if params.with_sync else 0,
+                       params.ntasks, params.steals)

@@ -387,12 +387,27 @@ def cmd_table2(_args) -> int:
     return 0
 
 
+#: Kernel-language applications (docs/language.md): disassembled from
+#: their DSL sources rather than the scalar-kernel builders.
+_DSL_DISASM = ("wsdeque", "bfs", "hashtab")
+
+
 def cmd_disasm(args) -> int:
     from repro.instrument.asm import disassemble
     from repro.instrument.atom import AtomRewriter
     from repro.instrument.binaries import binary_for
     from repro.instrument.isa import Section
-    image = binary_for(args.app)
+    if args.app in _DSL_DISASM:
+        import importlib
+
+        from repro.instrument.linker import link
+        from repro.instrument.parser import compile_source
+        mod = importlib.import_module(f"repro.apps.{args.app}")
+        obj = compile_source(mod.SOURCE, args.app, regalloc=args.regalloc)
+        image = link(args.app, [obj], libraries=[], include_cvm=False,
+                     strict=True)
+    else:
+        image = binary_for(args.app, regalloc=args.regalloc)
     if args.instrumented:
         image = AtomRewriter().instrument(image)
         if args.batched:
@@ -631,7 +646,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.set_defaults(func=cmd_timeline)
 
     p_dis = sub.add_parser("disasm", help="disassemble a kernel binary")
-    p_dis.add_argument("app", choices=["fft", "sor", "tsp", "water", "lu"])
+    p_dis.add_argument("app", choices=["fft", "sor", "tsp", "water", "lu",
+                                       "wsdeque", "bfs", "hashtab"])
+    p_dis.add_argument("--regalloc", choices=["naive", "linear"],
+                       default="naive",
+                       help="register allocator (default: naive, the "
+                            "codegen the committed tables are pinned to)")
     p_dis.add_argument("--instrumented", action="store_true")
     p_dis.add_argument("--batched", action="store_true",
                        help="with --instrumented: coalesce provably "

@@ -40,6 +40,8 @@ _ALU_RE = re.compile(
 _BRANCH_RE = re.compile(r"^(beqz|bnez)\s+([a-z]\w*)\s*,\s*(\S+)$")
 _J_RE = re.compile(r"^j\s+(\S+)$")
 _CALL_RE = re.compile(r"^call\s+(\S+)$")
+_CALLR_RE = re.compile(r"^callr\s+([a-z%]\w*)$")
+_LA_RE = re.compile(r"^la\s+([a-z]\w*)\s*,\s*(\S+)$")
 _LABEL_RE = re.compile(r"^(\S+):$")
 _FUNC_RE = re.compile(
     r"^\.func\s+(\S+)\s+section=(\w+)(?:\s+frame=(\d+))?$")
@@ -97,6 +99,12 @@ def assemble_line(line: str) -> Instruction:
     m = _J_RE.match(line)
     if m:
         return Instruction(Op.J, target=m.group(1))
+    m = _CALLR_RE.match(line)
+    if m:
+        return Instruction(Op.CALLR, srcs=(m.group(1),))
+    m = _LA_RE.match(line)
+    if m:
+        return Instruction(Op.LA, reg=m.group(1), target=m.group(2))
     m = _CALL_RE.match(line)
     if m:
         return Instruction(Op.CALL, target=m.group(1))

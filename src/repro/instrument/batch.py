@@ -225,16 +225,26 @@ def coalesce_function(fn: Function, atoms: _Atoms,
                 pending = (_Pending(i, kind, addr[0], addr[1] + 1, 1)
                            if addr[0] else None)
             continue
-        if op in (Op.LABEL, Op.BEQZ, Op.BNEZ, Op.J, Op.RET, Op.CALL):
+        if op in (Op.LABEL, Op.BEQZ, Op.BNEZ, Op.J, Op.RET, Op.CALL,
+                  Op.CALLR):
             # Block boundary or an event-carrying instruction: close the
-            # run.  A non-analysis call additionally clobbers memory.
+            # run.  A non-analysis call additionally clobbers memory; an
+            # indirect call doubly so — the callee is unknown statically,
+            # so every tracked value it could touch is conservatively
+            # retired.
             _flush(pending, code, report)
             pending = None
             if op is Op.LABEL:
                 vals = _BlockValues(atoms)
-            elif op is Op.CALL:
+            elif op in (Op.CALL, Op.CALLR):
                 vals.mem_epoch += 1
                 vals.set("v0", vals._fresh())
+            continue
+        if op is Op.LA:
+            # A function-address constant is deterministic: two LAs of
+            # the same symbol hold the same value, so key the atom on
+            # the symbol (never on position).
+            vals.set(ins.reg, vals._atom_form(("fa", ins.target)))
             continue
         if op is Op.LD:
             vals.load(ins.reg, ins.base, ins.offset)

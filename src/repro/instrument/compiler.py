@@ -1,17 +1,29 @@
 """Compiler from the kernel language to the mini ISA.
 
-Deliberately naive single-pass code generation (no CSE, no register
-caching of memory values): every variable reference becomes a load and
-every assignment a store, with the addressing mode determined by the
-storage class.  That is faithful to what matters here — the *classifiable
-addressing discipline* of the emitted loads and stores — and mirrors the
-unoptimized RISC code ATOM actually saw.
+Two register-allocation modes share one lowering:
+
+* ``regalloc="naive"`` (default) — the paper-faithful single-pass code
+  generation (no CSE, no register caching of memory values): every
+  variable reference becomes a load and every assignment a store, with
+  temporaries bound by the historical expression-stack discipline
+  (:class:`repro.instrument.regalloc.NaiveBinding`).  This is what the
+  unoptimized RISC code ATOM actually saw, and what every paper table is
+  pinned to.
+
+* ``regalloc="linear"`` — three-address code over unbounded virtual
+  registers with scalar locals and parameters *register-homed* (no
+  per-reference load/store traffic), bound onto the physical register
+  file by the liveness-driven linear scan in
+  :mod:`repro.instrument.regalloc`, spilling to fresh frame slots under
+  pressure.  Variables whose address is taken (``&x``) stay
+  memory-homed, as do arrays and statics.
 
 Addressing-mode rules (what the static filter later keys on):
 
 * scalar locals, params, const-indexed stack arrays → ``off(fp)``
 * static globals → ``off(gp)``
-* pointer dereferences → compute address into a temp, ``0(t)``
+* pointer dereferences and struct fields → compute address into a temp,
+  ``field_offset(t)``
 * variable-indexed stack arrays → the address is computed (``fp`` + index)
   into a temp register, so the frame-pointer provenance is lost to a
   basic-block-local analysis; the access is conservatively treated as
@@ -20,59 +32,125 @@ Addressing-mode rules (what the static filter later keys on):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import CompileError
 from repro.instrument import kernel_ast as K
-from repro.instrument.isa import (ARG_REGS, FP, GP, RV, TEMP_REGS, Function,
+from repro.instrument.isa import (ARG_REGS, FP, GP, RV, Function,
                                   Instruction, ObjectFile, Op, Section)
+from repro.instrument.regalloc import (NaiveBinding, VirtualBinding,
+                                       bind_registers)
 
 _BINOPS = {
     "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV,
     "&": Op.AND, "|": Op.OR, "^": Op.XOR, "<": Op.SLT, "==": Op.SEQ,
 }
 
+#: The allocator intrinsics ``new``/``delete`` lower to.
+HEAP_ALLOC = "__heap_alloc"
+HEAP_FREE = "__heap_free"
 
-class _RegPool:
-    """Temporary-register allocator (expression stack discipline)."""
+REGALLOC_MODES = ("naive", "linear")
 
-    def __init__(self) -> None:
-        self._free = list(reversed(TEMP_REGS))
 
-    def take(self) -> str:
-        if not self._free:
-            raise CompileError(
-                "expression too deep: out of temporary registers")
-        return self._free.pop()
+def _addressed_names(stmts) -> Set[str]:
+    """Names whose address is taken anywhere in a statement list — these
+    must stay memory-homed under every allocator."""
+    out: Set[str] = set()
 
-    def give(self, reg: str) -> None:
-        if reg in TEMP_REGS:
-            self._free.append(reg)
+    def walk_expr(e: K.Expr) -> None:
+        if isinstance(e, K.AddrOf):
+            out.add(e.name)
+        elif isinstance(e, K.Bin):
+            walk_expr(e.left)
+            walk_expr(e.right)
+        elif isinstance(e, (K.LocalArr, K.Deref)):
+            idx = e.index
+            walk_expr(idx)
+            if isinstance(e, K.Deref):
+                walk_expr(e.ptr)
+        elif isinstance(e, K.Field):
+            walk_expr(e.obj)
+        elif isinstance(e, K.CallExpr):
+            for a in e.args:
+                walk_expr(a)
+        elif isinstance(e, K.CallIndirect):
+            walk_expr(e.func)
+            for a in e.args:
+                walk_expr(a)
+        elif isinstance(e, K.New):
+            walk_expr(e.size)
+
+    def walk_stmt(s: K.Stmt) -> None:
+        if isinstance(s, K.Assign):
+            walk_expr(s.target)
+            walk_expr(s.value)
+        elif isinstance(s, K.For):
+            walk_expr(s.start)
+            walk_expr(s.end)
+            for sub in s.body:
+                walk_stmt(sub)
+        elif isinstance(s, K.While):
+            walk_expr(s.cond)
+            for sub in s.body:
+                walk_stmt(sub)
+        elif isinstance(s, K.If):
+            walk_expr(s.cond)
+            for sub in s.then:
+                walk_stmt(sub)
+            for sub in s.orelse:
+                walk_stmt(sub)
+        elif isinstance(s, K.Return):
+            if s.value is not None:
+                walk_expr(s.value)
+        elif isinstance(s, K.ExprStmt):
+            walk_expr(s.expr)
+        elif isinstance(s, K.Delete):
+            walk_expr(s.target)
+
+    for s in stmts:
+        walk_stmt(s)
+    return out
 
 
 class _FunctionCompiler:
     def __init__(self, program: K.KernelProgram, fn: K.KernelFunction,
-                 static_offsets: Dict[str, int]):
+                 static_offsets: Dict[str, int], regalloc: str = "naive"):
         self.program = program
         self.fn = fn
         self.static_offsets = static_offsets
         self.code: List[Instruction] = []
-        self.regs = _RegPool()
+        self.cur_line = getattr(fn, "line", 0)
+        self.regs = (VirtualBinding(self._context)
+                     if regalloc == "linear"
+                     else NaiveBinding(self._context))
+        self.linear = self.regs.registers_variables
         self._label_counter = 0
-        # Frame layout: params first, then scalars, then arrays.
+        addressed = _addressed_names(fn.body) if self.linear else None
+        # Frame layout: params first, then scalars, then arrays.  In
+        # linear mode, scalars that never have their address taken get a
+        # virtual-register home instead of a frame slot.
         self.frame: Dict[str, int] = {}
         self.array_base: Dict[str, int] = {}
+        self.home: Dict[str, str] = {}
         slot = 0
         for p in fn.params:
-            self.frame[p] = slot
-            slot += 1
+            if self.linear and p not in addressed:
+                self.home[p] = self.regs.take()
+            else:
+                self.frame[p] = slot
+                slot += 1
         for name in fn.locals_:
-            if name in self.frame:
+            if name in self.frame or name in self.home:
                 raise CompileError(f"{fn.name}: duplicate local {name!r}")
-            self.frame[name] = slot
-            slot += 1
+            if self.linear and name not in addressed:
+                self.home[name] = self.regs.take()
+            else:
+                self.frame[name] = slot
+                slot += 1
         for name, size in fn.arrays:
-            if name in self.frame or name in self.array_base:
+            if name in self.frame or name in self.array_base \
+                    or name in self.home:
                 raise CompileError(f"{fn.name}: duplicate array {name!r}")
             if size <= 0:
                 raise CompileError(f"{fn.name}: array {name!r} size must be > 0")
@@ -80,14 +158,24 @@ class _FunctionCompiler:
             slot += size
         self.frame_words = slot
 
+    def _context(self) -> Tuple[str, int]:
+        """(function, source line) for allocator diagnostics."""
+        return self.fn.name, self.cur_line
+
     # ------------------------------------------------------------------ #
     def compile(self) -> Function:
-        # Prologue: spill incoming arguments to their frame slots.
+        # Prologue: move incoming arguments to their homes (frame slots,
+        # or registers in linear mode).
         for i, p in enumerate(self.fn.params):
             if i >= len(ARG_REGS):
                 raise CompileError(f"{self.fn.name}: too many parameters")
-            self.emit(Op.ST, reg=ARG_REGS[i], base=FP,
-                      offset=self.frame[p], origin=f"{self.fn.name}:prologue")
+            if p in self.home:
+                self.emit(Op.MOV, reg=self.home[p], srcs=(ARG_REGS[i],),
+                          origin=f"{self.fn.name}:prologue")
+            else:
+                self.emit(Op.ST, reg=ARG_REGS[i], base=FP,
+                          offset=self.frame[p],
+                          origin=f"{self.fn.name}:prologue")
         for stmt in self.fn.body:
             self.stmt(stmt)
         if not self.code or self.code[-1].op is not Op.RET:
@@ -108,11 +196,17 @@ class _FunctionCompiler:
     # Expressions: return the register holding the value.
     # ------------------------------------------------------------------ #
     def expr(self, e: K.Expr, origin: str = "") -> str:
+        line = getattr(e, "line", 0)
+        if line:
+            self.cur_line = line
         if isinstance(e, K.Const):
             r = self.regs.take()
             self.emit(Op.LI, reg=r, imm=e.value, origin=origin)
             return r
         if isinstance(e, (K.Local, K.Param)):
+            home = self.home.get(e.name)
+            if home is not None:
+                return home
             slot = self.frame.get(e.name)
             if slot is None:
                 raise CompileError(f"{self.fn.name}: unknown local {e.name!r}")
@@ -131,19 +225,47 @@ class _FunctionCompiler:
             return self._local_arr_load(e, origin)
         if isinstance(e, K.Deref):
             addr = self._address_of_deref(e, origin)
-            self.emit(Op.LD, reg=addr, base=addr, offset=0, origin=origin)
-            return addr
+            dest = self.regs.take() if self.linear else addr
+            self.emit(Op.LD, reg=dest, base=addr, offset=0, origin=origin)
+            return dest
+        if isinstance(e, K.Field):
+            obj = self.expr(e.obj, origin)
+            dest = self.regs.take() if self.linear else obj
+            self.emit(Op.LD, reg=dest, base=obj, offset=e.offset,
+                      origin=origin or f"{self.fn.name}:field.{e.name}")
+            return dest
+        if isinstance(e, K.AddrOf):
+            return self._addr_of(e, origin)
+        if isinstance(e, K.New):
+            self._emit_args([e.size], origin)
+            self.emit(Op.CALL, target=HEAP_ALLOC, origin=origin)
+            r = self.regs.take()
+            self.emit(Op.MOV, reg=r, srcs=(RV,), origin=origin)
+            return r
+        if isinstance(e, K.FuncRef):
+            r = self.regs.take()
+            self.emit(Op.LA, reg=r, target=e.name, origin=origin)
+            return r
         if isinstance(e, K.Bin):
             op = _BINOPS.get(e.op)
             if op is None:
                 raise CompileError(f"unknown operator {e.op!r}")
             left = self.expr(e.left, origin)
             right = self.expr(e.right, origin)
+            if self.linear:
+                dest = self.regs.take()
+                self.emit(op, reg=dest, srcs=(left, right), origin=origin)
+                return dest
             self.emit(op, reg=left, srcs=(left, right), origin=origin)
             self.regs.give(right)
             return left
         if isinstance(e, K.CallExpr):
             self._emit_call(e, origin)
+            r = self.regs.take()
+            self.emit(Op.MOV, reg=r, srcs=(RV,), origin=origin)
+            return r
+        if isinstance(e, K.CallIndirect):
+            self._emit_call_indirect(e, origin)
             r = self.regs.take()
             self.emit(Op.MOV, reg=r, srcs=(RV,), origin=origin)
             return r
@@ -161,37 +283,93 @@ class _FunctionCompiler:
             return r
         # Computed index: address leaves fp-relative form; the filter will
         # conservatively instrument this (it is in fact private).
+        addr = self._local_arr_addr(e, base, origin)
+        dest = self.regs.take() if self.linear else addr
+        self.emit(Op.LD, reg=dest, base=addr, offset=0, origin=origin)
+        return dest
+
+    def _local_arr_addr(self, e: K.LocalArr, base: int, origin: str) -> str:
+        """fp + base + index into a register (variable-indexed access)."""
         idx = self.expr(e.index, origin)
         tmp = self.regs.take()
         self.emit(Op.LI, reg=tmp, imm=base, origin=origin)
+        if self.linear:
+            s1 = self.regs.take()
+            self.emit(Op.ADD, reg=s1, srcs=(idx, tmp), origin=origin)
+            addr = self.regs.take()
+            self.emit(Op.ADD, reg=addr, srcs=(s1, FP), origin=origin)
+            return addr
         self.emit(Op.ADD, reg=idx, srcs=(idx, tmp), origin=origin)
         self.emit(Op.ADD, reg=idx, srcs=(idx, FP), origin=origin)
         self.regs.give(tmp)
-        self.emit(Op.LD, reg=idx, base=idx, offset=0, origin=origin)
         return idx
 
     def _address_of_deref(self, e: K.Deref, origin: str) -> str:
         ptr = self.expr(e.ptr, origin)
         idx = self.expr(e.index, origin)
+        if self.linear:
+            addr = self.regs.take()
+            self.emit(Op.ADD, reg=addr, srcs=(ptr, idx), origin=origin)
+            return addr
         self.emit(Op.ADD, reg=ptr, srcs=(ptr, idx), origin=origin)
         self.regs.give(idx)
         return ptr
 
-    def _emit_call(self, e: K.CallExpr, origin: str) -> None:
-        if len(e.args) > len(ARG_REGS):
-            raise CompileError(f"call {e.name!r}: too many arguments")
+    def _addr_of(self, e: K.AddrOf, origin: str) -> str:
+        """&name — materialize a variable's address.  The address leaves
+        fp/gp-relative form, so accesses through it are conservatively
+        instrumented (the sound direction)."""
+        if e.name in self.array_base:
+            slot, base_reg = self.array_base[e.name], FP
+        elif e.name in self.frame:
+            slot, base_reg = self.frame[e.name], FP
+        elif e.name in self.static_offsets:
+            slot, base_reg = self.static_offsets[e.name], GP
+        else:
+            raise CompileError(
+                f"{self.fn.name}: line {e.line}: cannot take the address "
+                f"of {e.name!r} (register-homed or undeclared)")
+        tmp = self.regs.take()
+        self.emit(Op.LI, reg=tmp, imm=slot, origin=origin)
+        if self.linear:
+            dest = self.regs.take()
+            self.emit(Op.ADD, reg=dest, srcs=(tmp, base_reg), origin=origin)
+            return dest
+        self.emit(Op.ADD, reg=tmp, srcs=(tmp, base_reg), origin=origin)
+        return tmp
+
+    def _emit_args(self, args, origin: str) -> None:
+        if len(args) > len(ARG_REGS):
+            raise CompileError(f"{self.fn.name}: too many arguments")
         arg_regs: List[str] = []
-        for a in e.args:
+        for a in args:
             arg_regs.append(self.expr(a, origin))
         for i, r in enumerate(arg_regs):
             self.emit(Op.MOV, reg=ARG_REGS[i], srcs=(r,), origin=origin)
             self.regs.give(r)
+
+    def _emit_call(self, e: K.CallExpr, origin: str) -> None:
+        if len(e.args) > len(ARG_REGS):
+            raise CompileError(f"call {e.name!r}: too many arguments")
+        self._emit_args(e.args, origin)
         self.emit(Op.CALL, target=e.name, origin=origin)
+
+    def _emit_call_indirect(self, e: K.CallIndirect, origin: str) -> None:
+        if len(e.args) > len(ARG_REGS):
+            raise CompileError(
+                f"{self.fn.name}: indirect call: too many arguments")
+        freg = self.expr(e.func, origin)
+        self._emit_args(e.args, origin)
+        self.emit(Op.CALLR, srcs=(freg,), origin=origin)
+        self.regs.give(freg)
 
     # ------------------------------------------------------------------ #
     # Statements.
     # ------------------------------------------------------------------ #
     def stmt(self, s: K.Stmt) -> None:
+        line = getattr(s, "line", 0)
+        if line:
+            self.cur_line = line
         origin = f"{self.fn.name}:{type(s).__name__}"
         if isinstance(s, K.Assign):
             self._assign(s, origin)
@@ -210,9 +388,14 @@ class _FunctionCompiler:
         elif isinstance(s, K.ExprStmt):
             if isinstance(s.expr, K.CallExpr):
                 self._emit_call(s.expr, origin)
+            elif isinstance(s.expr, K.CallIndirect):
+                self._emit_call_indirect(s.expr, origin)
             else:
                 r = self.expr(s.expr, origin)
                 self.regs.give(r)
+        elif isinstance(s, K.Delete):
+            self._emit_args([s.target], origin)
+            self.emit(Op.CALL, target=HEAP_FREE, origin=origin)
         else:
             raise CompileError(f"cannot compile statement {s!r}")
 
@@ -220,6 +403,10 @@ class _FunctionCompiler:
         value = self.expr(s.value, origin)
         t = s.target
         if isinstance(t, (K.Local, K.Param)):
+            home = self.home.get(t.name)
+            if home is not None:
+                self.emit(Op.MOV, reg=home, srcs=(value,), origin=origin)
+                return
             slot = self.frame.get(t.name)
             if slot is None:
                 raise CompileError(f"{self.fn.name}: unknown local {t.name!r}")
@@ -237,18 +424,19 @@ class _FunctionCompiler:
                 self.emit(Op.ST, reg=value, base=FP,
                           offset=base + t.index.value, origin=origin)
             else:
-                idx = self.expr(t.index, origin)
-                tmp = self.regs.take()
-                self.emit(Op.LI, reg=tmp, imm=base, origin=origin)
-                self.emit(Op.ADD, reg=idx, srcs=(idx, tmp), origin=origin)
-                self.emit(Op.ADD, reg=idx, srcs=(idx, FP), origin=origin)
-                self.regs.give(tmp)
-                self.emit(Op.ST, reg=value, base=idx, offset=0, origin=origin)
-                self.regs.give(idx)
+                addr = self._local_arr_addr(t, base, origin)
+                self.emit(Op.ST, reg=value, base=addr, offset=0,
+                          origin=origin)
+                self.regs.give(addr)
         elif isinstance(t, K.Deref):
             addr = self._address_of_deref(t, origin)
             self.emit(Op.ST, reg=value, base=addr, offset=0, origin=origin)
             self.regs.give(addr)
+        elif isinstance(t, K.Field):
+            obj = self.expr(t.obj, origin)
+            self.emit(Op.ST, reg=value, base=obj, offset=t.offset,
+                      origin=origin or f"{self.fn.name}:field.{t.name}")
+            self.regs.give(obj)
         else:
             raise CompileError(f"cannot assign to {t!r}")
         self.regs.give(value)
@@ -296,8 +484,18 @@ class _FunctionCompiler:
         self.emit(Op.LABEL, target=done)
 
 
-def compile_kernel(program: K.KernelProgram) -> ObjectFile:
-    """Compile a kernel program into an object file (APP section)."""
+def compile_kernel(program: K.KernelProgram,
+                   regalloc: str = "naive") -> ObjectFile:
+    """Compile a kernel program into an object file (APP section).
+
+    ``regalloc`` selects the register allocator: ``"naive"`` (the
+    paper-faithful expression-stack discipline) or ``"linear"``
+    (liveness-driven linear scan with register-homed scalars).
+    """
+    if regalloc not in REGALLOC_MODES:
+        raise CompileError(
+            f"unknown regalloc mode {regalloc!r}; expected one of "
+            f"{REGALLOC_MODES}")
     static_offsets = {name: i for i, name in enumerate(program.statics)}
     obj = ObjectFile(program.name)
     seen = set()
@@ -305,5 +503,9 @@ def compile_kernel(program: K.KernelProgram) -> ObjectFile:
         if fn.name in seen:
             raise CompileError(f"duplicate function {fn.name!r}")
         seen.add(fn.name)
-        obj.add(_FunctionCompiler(program, fn, static_offsets).compile())
+        compiled = _FunctionCompiler(program, fn, static_offsets,
+                                     regalloc=regalloc).compile()
+        if regalloc == "linear":
+            compiled, _report = bind_registers(compiled)
+        obj.add(compiled)
     return obj

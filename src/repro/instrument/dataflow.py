@@ -46,6 +46,10 @@ class Provenance(enum.Enum):
     UNKNOWN = "unknown"
 
 
+#: Calls whose return value is provably a fresh heap pointer.
+HEAP_ALLOCATORS = frozenset({"malloc", "__heap_alloc"})
+
+
 def _combine(a: Provenance, b: Provenance) -> Provenance:
     """Provenance of ``a op b`` for address arithmetic.
 
@@ -154,12 +158,21 @@ def classify_with_provenance(fn: Function,
             elif op in (Op.MUL, Op.DIV, Op.AND, Op.OR, Op.XOR,
                         Op.SLT, Op.SEQ):
                 state.set(ins.reg, Provenance.UNKNOWN)
+            elif op is Op.LA:
+                # A function address is a code pointer: loads/stores
+                # through it would be malformed, so stay conservative.
+                state.set(ins.reg, Provenance.UNKNOWN)
             elif op is Op.CALL:
                 state.clobber_caller_saved()
-                if ins.target == "malloc":
+                if ins.target in HEAP_ALLOCATORS:
                     state.set(RV, Provenance.HEAP)
                 else:
                     state.set(RV, Provenance.UNKNOWN)
+            elif op is Op.CALLR:
+                # The callee is unknown statically: clobber everything
+                # and assume nothing about the return value.
+                state.clobber_caller_saved()
+                state.set(RV, Provenance.UNKNOWN)
     return out
 
 

@@ -35,6 +35,12 @@ TEMP_REGS = tuple(f"t{i}" for i in range(12))
 STACK_BASES = frozenset({FP, SP})
 STATIC_BASES = frozenset({GP})
 
+#: Base of the function-address space: ``Op.LA`` materializes
+#: ``FUNC_BASE + index`` where the index is the symbol's rank in the
+#: linked binary's sorted name order.  Well above every data region, so a
+#: function address can never alias a stack/static/heap word.
+FUNC_BASE = 1 << 20
+
 
 class Op(enum.Enum):
     """Opcodes.  ``LD``/``ST`` are the only memory instructions."""
@@ -56,6 +62,8 @@ class Op(enum.Enum):
     BNEZ = "bnez"
     J = "j"          # unconditional jump to label
     CALL = "call"    # call function by name
+    CALLR = "callr"  # call through a register holding a function address
+    LA = "la"        # la rd, symbol — load a function-address constant
     RET = "ret"
     LABEL = "label"  # pseudo-instruction
     NOP = "nop"
@@ -114,6 +122,10 @@ class Instruction:
             return f"j {self.target}"
         if self.op is Op.CALL:
             return f"call {self.target}"
+        if self.op is Op.CALLR:
+            return f"callr {self.srcs[0]}"
+        if self.op is Op.LA:
+            return f"la {self.reg}, {self.target}"
         if self.op is Op.LABEL:
             return f"{self.target}:"
         return self.op.value
@@ -166,6 +178,37 @@ class BinaryImage:
             fn = self.functions[name]
             for ins in fn.instructions:
                 yield fn, ins
+
+    # -- function addresses (first-class functions) -------------------- #
+    def _address_table(self) -> Dict[str, int]:
+        cached = getattr(self, "_fa_cache", None)
+        if cached is not None and cached[0] == len(self.functions):
+            return cached[1]
+        table = {name: FUNC_BASE + i
+                 for i, name in enumerate(sorted(self.functions))}
+        self._fa_cache = (len(self.functions), table)
+        return table
+
+    def function_address(self, name: str) -> int:
+        """The address ``Op.LA`` materializes for ``name``.
+
+        Keyed on the *sorted symbol order*, which instrumentation and
+        batching preserve (they rewrite bodies, never names), so function
+        values survive every binary rewrite unchanged.
+        """
+        table = self._address_table()
+        addr = table.get(name)
+        if addr is None:
+            raise KeyError(f"binary {self.name!r}: no function {name!r}")
+        return addr
+
+    def function_by_address(self, addr: int) -> Optional[str]:
+        """Inverse of :meth:`function_address`; None for a bad address."""
+        index = addr - FUNC_BASE
+        names = sorted(self.functions)
+        if 0 <= index < len(names):
+            return names[index]
+        return None
 
     def load_store_count(self) -> int:
         return sum(1 for _fn, ins in self.all_instructions() if ins.is_memory)

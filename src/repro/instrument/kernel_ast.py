@@ -15,6 +15,22 @@ filter distinguishes:
   addressing mode; like the paper's basic-block-limited analysis, these
   are conservatively instrumented and account for the "false"
   instrumentations that dominate runtime analysis calls (§5.1, §6.5).
+* ``Field`` — access through a struct pointer (``p.next``): the offset is
+  resolved at parse time against the struct table, the access itself is
+  dynamic and therefore instrumented;
+* ``New`` / ``Delete`` — dynamic shared-heap allocation, lowered to the
+  per-pid bump/free-list allocator (``__heap_alloc`` / ``__heap_free``);
+* ``AddrOf`` — the address of a declared variable; taking an address
+  forces the variable to stay memory-homed under every register
+  allocator, and accesses through the escaped pointer are conservatively
+  instrumented;
+* ``FuncRef`` / ``CallIndirect`` — first-class function values: a
+  function-address constant (``Op.LA``) and a call through a register
+  (``Op.CALLR``).
+
+Every node carries an optional ``line`` (source line, 0 when built
+programmatically); it is excluded from equality so hand-built and parsed
+ASTs still compare equal.
 """
 
 from __future__ import annotations
@@ -86,16 +102,72 @@ class CallExpr(Expr):
     args: Sequence[Expr] = ()
 
 
+@dataclass
+class Field(Expr):
+    """``obj.field`` through a struct pointer.
+
+    The parser resolves ``offset`` against the struct table at parse
+    time, so the compiler lowers this without any type knowledge: the
+    effective address is ``value(obj) + offset``.
+    """
+
+    obj: Expr
+    name: str
+    offset: int = 0
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class AddrOf(Expr):
+    """``&name`` — the address of a declared variable or array."""
+
+    name: str
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class New(Expr):
+    """``new Type`` or ``new [count]`` — shared-heap allocation.
+
+    ``size`` is the word count (the struct's field count, resolved by
+    the parser, or the bracketed expression); ``struct`` names the type
+    for diagnostics when the allocation is typed.
+    """
+
+    size: Expr = None  # type: ignore[assignment]
+    struct: Optional[str] = None
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class FuncRef(Expr):
+    """A function used as a value (its address)."""
+
+    name: str
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class CallIndirect(Expr):
+    """Call through a function value: ``fnptr(args)``."""
+
+    func: Expr = None  # type: ignore[assignment]
+    args: Sequence[Expr] = ()
+    line: int = field(default=0, compare=False)
+
+
 class Stmt:
     """Base class for statements."""
 
 
 @dataclass
 class Assign(Stmt):
-    """``target = value`` where target is Local/Static/LocalArr/Deref."""
+    """``target = value`` where target is Local/Static/LocalArr/Deref/
+    Field."""
 
     target: Expr
     value: Expr
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -107,12 +179,14 @@ class For(Stmt):
     end: Expr
     body: List[Stmt]
     step: int = 1
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
 class While(Stmt):
     cond: Expr
     body: List[Stmt]
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -120,16 +194,50 @@ class If(Stmt):
     cond: Expr
     then: List[Stmt]
     orelse: List[Stmt] = field(default_factory=list)
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
 class Return(Stmt):
     value: Optional[Expr] = None
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
 class ExprStmt(Stmt):
     expr: Expr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class Delete(Stmt):
+    """``delete expr;`` — return a heap block to the free list."""
+
+    target: Expr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class StructDef:
+    """A struct declaration: ordered one-word fields, with optional
+    struct-typed fields (``next: Node``) so chained field access
+    (``p.next.val``) type-checks."""
+
+    name: str
+    fields: Sequence[str] = ()
+    #: field name -> struct type name, for struct-typed fields only.
+    field_types: "dict" = field(default_factory=dict)
+    line: int = field(default=0, compare=False)
+
+    @property
+    def size(self) -> int:
+        return len(self.fields)
+
+    def offset_of(self, fname: str) -> Optional[int]:
+        for i, f in enumerate(self.fields):
+            if f == fname:
+                return i
+        return None
 
 
 @dataclass
@@ -142,6 +250,9 @@ class KernelFunction:
     #: (name, size) stack arrays.
     arrays: Sequence[Tuple[str, int]] = ()
     body: List[Stmt] = field(default_factory=list)
+    #: variable name -> struct type name, for pointer-typed declarations.
+    var_types: "dict" = field(default_factory=dict, compare=False)
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -151,3 +262,4 @@ class KernelProgram:
     name: str
     statics: Sequence[str] = ()
     functions: List[KernelFunction] = field(default_factory=list)
+    structs: Sequence[StructDef] = field(default=(), compare=False)

@@ -86,14 +86,55 @@ def synthesize_library(spec: LibrarySpec) -> ObjectFile:
     return obj
 
 
+#: Symbols an application may call without defining them: allocator and
+#: runtime intrinsics the interpreter (or a DSL bridge) implements, plus
+#: the analysis routine the rewriter inserts post-link.
+DEFAULT_EXTERNS = frozenset({
+    "malloc", "free", "__heap_alloc", "__heap_free",
+    "lock", "unlock", "barrier", "pause",
+    "__race_analysis",
+})
+
+
+def _validate_app_targets(image: BinaryImage, externs: frozenset,
+                          strict: bool) -> None:
+    """``la`` of an undefined function is always an error (the resulting
+    address could never be called).  Under ``strict`` linking, every
+    ``call`` in app code must also name a defined symbol or a known
+    extern — undefined targets silently became opaque no-op calls, which
+    turned typos into wrong answers.  Non-strict linking keeps the
+    opaque-call contract for tests and synthetic harnesses."""
+    for fname in sorted(image.functions):
+        fn = image.functions[fname]
+        if fn.section is not Section.APP:
+            continue
+        for ins in fn.instructions:
+            if ins.op is Op.LA:
+                if ins.target not in image.functions:
+                    raise LinkError(
+                        f"binary {image.name!r}: function {fname!r} takes "
+                        f"the address of undefined function "
+                        f"{ins.target!r}")
+            elif strict and ins.op is Op.CALL:
+                if ins.target not in image.functions \
+                        and ins.target not in externs:
+                    raise LinkError(
+                        f"binary {image.name!r}: function {fname!r} calls "
+                        f"undefined symbol {ins.target!r}")
+
+
 def link(name: str, app_objects: Sequence[ObjectFile],
          libraries: Iterable[LibrarySpec] = (),
-         entry: str = "main", include_cvm: bool = True) -> BinaryImage:
+         entry: str = "main", include_cvm: bool = True,
+         externs: Iterable[str] = DEFAULT_EXTERNS,
+         strict: bool = False) -> BinaryImage:
     """Produce a linked binary: app objects + requested libraries + CVM.
 
     ``entry`` must resolve to an app function unless the binary is a pure
     library bundle (entry=None is not supported; every app binary has a
-    main).
+    main).  ``externs`` are callable-but-undefined symbols (intrinsics);
+    under ``strict`` linking anything else a ``call`` in app code names
+    must be defined in the image (``la`` targets always must be).
     """
     image = BinaryImage(name)
     for obj in app_objects:
@@ -109,5 +150,6 @@ def link(name: str, app_objects: Sequence[ObjectFile],
         raise LinkError(f"binary {name!r}: entry symbol {entry!r} undefined")
     if image.functions[entry].section is not Section.APP:
         raise LinkError(f"binary {name!r}: entry {entry!r} is not app code")
+    _validate_app_targets(image, frozenset(externs), strict)
     image.entry = entry
     return image

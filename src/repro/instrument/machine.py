@@ -80,8 +80,17 @@ class Machine:
         self.max_steps = max_steps
         self.intrinsics: Dict[str, Callable[..., int]] = {
             "malloc": self._malloc,
+            "__heap_alloc": self._heap_alloc,
+            "__heap_free": self._heap_free,
         }
         self._labels: Dict[str, Dict[str, int]] = {}
+        # Free lists for the ``new``/``delete`` allocator: exact-size
+        # block recycling (metadata lives Python-side, uninstrumented,
+        # like libc allocator internals).
+        self._free_blocks: Dict[int, List[int]] = {}
+        self._block_sizes: Dict[int, int] = {}
+        self._faddrs: Optional[Dict[str, int]] = None
+        self._fnames: Optional[Dict[int, str]] = None
 
     # ------------------------------------------------------------------ #
     # Public API.
@@ -115,6 +124,56 @@ class Machine:
             raise InstrumentationError("machine heap exhausted")
         self.heap_next += nwords
         return addr
+
+    def _heap_alloc(self, nwords: int, *_ignored: int) -> int:
+        """``new`` — bump allocation with exact-size free-list reuse.
+
+        Deterministic: blocks freed by ``delete`` are recycled LIFO, so a
+        churned allocation pattern (the hash-table app) revisits the same
+        shared words instead of marching through the arena."""
+        nwords = max(1, nwords)
+        free = self._free_blocks.get(nwords)
+        if free:
+            addr = free.pop()
+        else:
+            addr = self._malloc(nwords)
+        self._block_sizes[addr] = nwords
+        return addr
+
+    def _heap_free(self, addr: int, *_ignored: int) -> int:
+        """``delete`` — return a block to its size class."""
+        size = self._block_sizes.pop(addr, None)
+        if size is None:
+            raise InstrumentationError(
+                f"__heap_free of unallocated address {addr}")
+        self._free_blocks.setdefault(size, []).append(addr)
+        return 0
+
+    def _build_func_tables(self) -> None:
+        self._faddrs = {}
+        self._fnames = {}
+        for fname in sorted(self.image.functions):
+            addr = self.image.function_address(fname)
+            self._faddrs[fname] = addr
+            self._fnames[addr] = fname
+
+    def _function_address(self, name: str) -> int:
+        if self._faddrs is None:
+            self._build_func_tables()
+        addr = self._faddrs.get(name)
+        if addr is None:
+            raise InstrumentationError(
+                f"la of undefined function {name!r}")
+        return addr
+
+    def _function_by_address(self, addr: int) -> str:
+        if self._fnames is None:
+            self._build_func_tables()
+        name = self._fnames.get(addr)
+        if name is None:
+            raise InstrumentationError(
+                f"callr through {addr}: not a function address")
+        return name
 
     def _labels_of(self, fn: Function) -> Dict[str, int]:
         cached = self._labels.get(fn.name)
@@ -214,6 +273,12 @@ class Machine:
                 else:
                     call_args = [get(ARG_REGS[i]) for i in range(6)]
                     regs[RV] = self._call(ins.target, call_args)
+            elif op is Op.LA:
+                regs[ins.reg] = self._function_address(ins.target)
+            elif op is Op.CALLR:
+                callee = self._function_by_address(get(ins.srcs[0]))
+                call_args = [get(ARG_REGS[i]) for i in range(6)]
+                regs[RV] = self._call(callee, call_args)
             elif op is Op.RET:
                 return get(RV)
             elif op in (Op.LABEL, Op.NOP):

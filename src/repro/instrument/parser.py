@@ -4,6 +4,7 @@ The compiler consumes an AST (:mod:`repro.instrument.kernel_ast`); this
 module provides the matching concrete syntax, so kernels can be written as
 source text::
 
+    struct Node { val; next: Node; }
     static threshold, above;
 
     func scan(data, n) {
@@ -18,9 +19,11 @@ source text::
     }
 
     func main(n) {
-        local p;
+        local p, head: Node;
         p = malloc(n);
-        return scan(p, n);
+        head = new Node;
+        head.val = scan(p, n);
+        return head.val;
     }
 
 Semantics notes:
@@ -28,18 +31,31 @@ Semantics notes:
 * ``static`` declares globals (gp-addressed);
 * ``local x, y;`` declares scalars (fp-addressed), ``array buf[8];``
   declares a stack array;
+* ``struct Name { f1; f2: Other; }`` declares a record of one-word
+  fields; a declaration ``local p: Name;`` types the pointer ``p`` so
+  ``p.f1`` resolves its field offset at parse time (structs must be
+  declared before a variable of their type is field-accessed);
 * ``name[expr]`` is a stack-array element if ``name`` was declared with
   ``array``, otherwise a pointer dereference through the scalar/param
   ``name`` — the distinction that decides instrumentation;
+* ``new Name`` / ``new [expr]`` allocate from the shared heap
+  (``__heap_alloc``), ``delete expr;`` frees (``__heap_free``);
+* ``&name`` takes the address of a declared variable or array;
+* a bare function name is a function value; calling through a declared
+  variable (``fn(x)`` where ``fn`` is a local/param/static) is an
+  indirect call;
 * operators: ``* / `` bind tighter than ``+ -``, then ``& | ^``, then
   ``< ==``; parentheses as usual.  (A deliberate small language: no
   unary minus — write ``0 - x``.)
+
+Every diagnostic carries the source line, column and the offending
+token.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CompileError
 from repro.instrument import kernel_ast as K
@@ -48,33 +64,83 @@ _TOKEN_RE = re.compile(r"""
     (?P<ws>\s+|\#[^\n]*)
   | (?P<num>\d+)
   | (?P<name>[A-Za-z_]\w*)
-  | (?P<op>\+=|==|[{}()\[\];,=+\-*/&|^<])
+  | (?P<op>\+=|==|[{}()\[\];,=+\-*/&|^<.:])
 """, re.VERBOSE)
 
 KEYWORDS = frozenset({"func", "static", "local", "array", "for", "while",
-                      "if", "else", "return"})
+                      "if", "else", "return", "struct", "new", "delete"})
 
 
-def tokenize(text: str) -> List[Tuple[str, str, int]]:
+class Token(tuple):
+    """A ``(kind, value, line)`` triple that also knows its column.
+
+    Subclassing ``tuple`` keeps the long-standing 3-way unpacking
+    (``for kind, value, line in tokens``) working while diagnostics can
+    read ``tok.col``.
+    """
+
+    def __new__(cls, kind: str, value: str, line: int, col: int = 0):
+        tok = super().__new__(cls, (kind, value, line))
+        tok.col = col
+        return tok
+
+    @property
+    def kind(self) -> str:
+        return self[0]
+
+    @property
+    def value(self) -> str:
+        return self[1]
+
+    @property
+    def line(self) -> int:
+        return self[2]
+
+    def describe(self) -> str:
+        """``line L, col C`` position prefix for diagnostics."""
+        return f"line {self[2]}, col {self.col}"
+
+
+def tokenize(text: str) -> List[Token]:
     """(kind, value, line) triples; kind in {num, name, kw, op}."""
-    out: List[Tuple[str, str, int]] = []
-    pos, line = 0, 1
+    out: List[Token] = []
+    pos, line, line_start = 0, 1, 0
     while pos < len(text):
         m = _TOKEN_RE.match(text, pos)
         if not m:
+            col = pos - line_start + 1
             raise CompileError(
-                f"line {line}: cannot tokenize {text[pos:pos + 12]!r}")
+                f"line {line}, col {col}: cannot tokenize "
+                f"{text[pos:pos + 12]!r}")
+        col = pos - line_start + 1
         pos = m.end()
         if m.lastgroup == "ws":
-            line += m.group().count("\n")
+            nl = m.group().count("\n")
+            if nl:
+                line += nl
+                line_start = m.start() + m.group().rindex("\n") + 1
             continue
         kind = m.lastgroup
         value = m.group()
         if kind == "name" and value in KEYWORDS:
             kind = "kw"
-        out.append((kind, value, line))
-    out.append(("eof", "", line))
+        out.append(Token(kind, value, line, col))
+    out.append(Token("eof", "", line, pos - line_start + 1))
     return out
+
+
+def _prescan(tokens: Sequence[Token]) -> Tuple[set, set]:
+    """Names of all declared functions and structs, so forward references
+    (a function value used before its definition, a struct type named in
+    an earlier declaration) resolve in one pass."""
+    funcs, structs = set(), set()
+    for i, tok in enumerate(tokens[:-1]):
+        if tok[0] == "kw" and tokens[i + 1][0] == "name":
+            if tok[1] == "func":
+                funcs.add(tokens[i + 1][1])
+            elif tok[1] == "struct":
+                structs.add(tokens[i + 1][1])
+    return funcs, structs
 
 
 class _Parser:
@@ -82,25 +148,35 @@ class _Parser:
         self.tokens = tokenize(text)
         self.pos = 0
         self.statics: List[str] = []
+        self.static_types: Dict[str, str] = {}
+        self.structs: Dict[str, K.StructDef] = {}
+        self.func_names, self.struct_names = _prescan(self.tokens)
         # Per-function scopes, filled while parsing a function body.
         self.params: List[str] = []
         self.locals_: List[str] = []
         self.arrays: List[Tuple[str, int]] = []
+        self.var_types: Dict[str, str] = {}
 
     # -- token helpers -------------------------------------------------- #
-    def peek(self) -> Tuple[str, str, int]:
+    def peek(self) -> Token:
         return self.tokens[self.pos]
 
-    def next(self) -> Tuple[str, str, int]:
+    def next(self) -> Token:
         tok = self.tokens[self.pos]
         self.pos += 1
         return tok
 
+    def error(self, tok: Token, message: str) -> CompileError:
+        shown = tok[1] if tok[0] != "eof" else "<end of input>"
+        return CompileError(f"{tok.describe()}: {message} "
+                            f"(at {shown!r})")
+
     def expect(self, kind: str, value: Optional[str] = None) -> str:
-        k, v, line = self.next()
+        tok = self.next()
+        k, v, _line = tok
         if k != kind or (value is not None and v != value):
             want = value or kind
-            raise CompileError(f"line {line}: expected {want!r}, got {v!r}")
+            raise self.error(tok, f"expected {want!r}")
         return v
 
     def accept(self, kind: str, value: Optional[str] = None) -> bool:
@@ -110,62 +186,135 @@ class _Parser:
             return True
         return False
 
+    # -- declarations ---------------------------------------------------- #
+    def _type_annotation(self) -> Optional[str]:
+        """Parse an optional ``: StructName`` suffix on a declaration."""
+        if not self.accept("op", ":"):
+            return None
+        tok = self.peek()
+        tname = self.expect("name")
+        if tname not in self.struct_names:
+            raise self.error(tok, f"unknown struct type {tname!r}")
+        return tname
+
+    def _declare(self, names: List[str], types: Dict[str, str],
+                 what: str) -> None:
+        tok = self.peek()
+        name = self.expect("name")
+        if name in self.locals_ or name in self.params \
+                or any(name == a for a, _s in self.arrays) \
+                or (what == "static" and name in self.statics):
+            raise self.error(tok, f"duplicate {what} {name!r}")
+        names.append(name)
+        tname = self._type_annotation()
+        if tname is not None:
+            types[name] = tname
+
     # -- grammar --------------------------------------------------------- #
     def parse_program(self, name: str) -> K.KernelProgram:
         functions: List[K.KernelFunction] = []
         while self.peek()[0] != "eof":
             if self.accept("kw", "static"):
-                self.statics.append(self.expect("name"))
+                self._declare(self.statics, self.static_types, "static")
                 while self.accept("op", ","):
-                    self.statics.append(self.expect("name"))
+                    self._declare(self.statics, self.static_types, "static")
                 self.expect("op", ";")
+            elif self.accept("kw", "struct"):
+                self.parse_struct()
             elif self.accept("kw", "func"):
                 functions.append(self.parse_function())
             else:
-                _k, v, line = self.peek()
-                raise CompileError(
-                    f"line {line}: expected 'func' or 'static', got {v!r}")
+                tok = self.peek()
+                raise self.error(
+                    tok, "expected 'func', 'static' or 'struct'")
         return K.KernelProgram(name, statics=tuple(self.statics),
-                               functions=functions)
+                               functions=functions,
+                               structs=tuple(self.structs.values()))
+
+    def parse_struct(self) -> None:
+        tok = self.peek()
+        sname = self.expect("name")
+        if sname in self.structs:
+            raise self.error(tok, f"duplicate struct {sname!r}")
+        self.expect("op", "{")
+        fields: List[str] = []
+        field_types: Dict[str, str] = {}
+        while not self.accept("op", "}"):
+            ftok = self.peek()
+            fname = self.expect("name")
+            if fname in fields:
+                raise self.error(ftok, f"duplicate field {fname!r} "
+                                       f"in struct {sname!r}")
+            fields.append(fname)
+            ftype = self._type_annotation()
+            if ftype is not None:
+                field_types[fname] = ftype
+            self.expect("op", ";")
+        if not fields:
+            raise self.error(tok, f"struct {sname!r} has no fields")
+        self.structs[sname] = K.StructDef(sname, tuple(fields),
+                                          field_types, line=tok[2])
 
     def parse_function(self) -> K.KernelFunction:
+        ftok = self.peek()
         fname = self.expect("name")
         self.expect("op", "(")
         self.params, self.locals_, self.arrays = [], [], []
+        self.var_types = {}
         if not self.accept("op", ")"):
-            self.params.append(self.expect("name"))
+            self._declare(self.params, self.var_types, "parameter")
             while self.accept("op", ","):
-                self.params.append(self.expect("name"))
+                self._declare(self.params, self.var_types, "parameter")
             self.expect("op", ")")
         body = self.parse_block()
         return K.KernelFunction(fname, params=tuple(self.params),
                                 locals_=tuple(self.locals_),
-                                arrays=tuple(self.arrays), body=body)
+                                arrays=tuple(self.arrays), body=body,
+                                var_types=dict(self.var_types),
+                                line=ftok[2])
 
     def parse_block(self) -> List[K.Stmt]:
         self.expect("op", "{")
         stmts: List[K.Stmt] = []
         while not self.accept("op", "}"):
+            if self.peek()[0] == "eof":
+                raise self.error(self.peek(), "expected '}'")
             stmt = self.parse_stmt()
             if stmt is not None:
                 stmts.append(stmt)
         return stmts
 
     def parse_stmt(self) -> Optional[K.Stmt]:
+        start = self.peek()
+        stmt = self._parse_stmt_inner()
+        if stmt is not None and not getattr(stmt, "line", 0):
+            stmt.line = start[2]
+        return stmt
+
+    def _parse_stmt_inner(self) -> Optional[K.Stmt]:
         if self.accept("kw", "local"):
-            self.locals_.append(self.expect("name"))
+            self._declare(self.locals_, self.var_types, "local")
             while self.accept("op", ","):
-                self.locals_.append(self.expect("name"))
+                self._declare(self.locals_, self.var_types, "local")
             self.expect("op", ";")
             return None
         if self.accept("kw", "array"):
+            atok = self.peek()
             aname = self.expect("name")
+            if aname in self.locals_ or aname in self.params \
+                    or any(aname == a for a, _s in self.arrays):
+                raise self.error(atok, f"duplicate array {aname!r}")
             self.expect("op", "[")
             size = int(self.expect("num"))
             self.expect("op", "]")
             self.expect("op", ";")
             self.arrays.append((aname, size))
             return None
+        if self.accept("kw", "delete"):
+            tok = self.peek()
+            target = self.parse_expr()
+            self.expect("op", ";")
+            return K.Delete(target, line=tok[2])
         if self.accept("kw", "for"):
             return self.parse_for()
         if self.accept("kw", "while"):
@@ -189,12 +338,12 @@ class _Parser:
             self.expect("op", ";")
             return K.Return(value)
         # assignment or expression statement
+        tok = self.peek()
         expr = self.parse_expr()
         if self.accept("op", "="):
             if not isinstance(expr, (K.Local, K.Param, K.Static,
-                                     K.LocalArr, K.Deref)):
-                raise CompileError(
-                    f"line {self.peek()[2]}: cannot assign to this target")
+                                     K.LocalArr, K.Deref, K.Field)):
+                raise self.error(tok, "cannot assign to this target")
             value = self.parse_expr()
             self.expect("op", ";")
             return K.Assign(expr, value)
@@ -203,23 +352,28 @@ class _Parser:
 
     def parse_for(self) -> K.For:
         self.expect("op", "(")
+        vtok = self.peek()
         var_name = self.expect("name")
-        var = self._name_ref(var_name)
+        var = self._name_ref(var_name, vtok)
         if not isinstance(var, K.Local):
-            raise CompileError("for-loop variable must be a declared local")
+            raise self.error(
+                vtok, "for-loop variable must be a declared local")
         self.expect("op", "=")
         start = self.parse_expr()
         self.expect("op", ";")
+        ctok = self.peek()
         cond_name = self.expect("name")
         if cond_name != var_name:
-            raise CompileError(
-                f"for-loop condition must test {var_name!r}")
+            raise self.error(
+                ctok, f"for-loop condition must test {var_name!r}")
         self.expect("op", "<")
         end = self.parse_expr()
         self.expect("op", ";")
+        stok = self.peek()
         step_name = self.expect("name")
         if step_name != var_name:
-            raise CompileError(f"for-loop step must update {var_name!r}")
+            raise self.error(
+                stok, f"for-loop step must update {var_name!r}")
         self.expect("op", "+=")
         step = int(self.expect("num"))
         self.expect("op", ")")
@@ -231,7 +385,8 @@ class _Parser:
 
     def parse_expr(self, level: int = 0) -> K.Expr:
         if level == len(self._LEVELS):
-            return self.parse_primary()
+            expr, _stype = self.parse_postfix()
+            return expr
         ops = self._LEVELS[level]
         left = self.parse_expr(level + 1)
         while True:
@@ -243,16 +398,69 @@ class _Parser:
             else:
                 return left
 
-    def parse_primary(self) -> K.Expr:
-        k, v, line = self.next()
+    def parse_postfix(self) -> Tuple[K.Expr, Optional[str]]:
+        """A primary followed by any number of ``.field`` accesses.
+
+        Returns ``(expr, struct_type)`` where the type, when known,
+        lets a chained access (``p.next.val``) resolve its offset."""
+        expr, stype = self.parse_primary()
+        while True:
+            dot = self.peek()
+            if not self.accept("op", "."):
+                return expr, stype
+            ftok = self.peek()
+            fname = self.expect("name")
+            if stype is None:
+                raise self.error(
+                    dot, f"field access .{fname}: expression has no "
+                         "declared struct type")
+            sdef = self.structs.get(stype)
+            if sdef is None:
+                raise self.error(
+                    dot, f"struct {stype!r} is not defined yet "
+                         "(declare structs before use)")
+            offset = sdef.offset_of(fname)
+            if offset is None:
+                raise self.error(
+                    ftok, f"struct {stype!r} has no field {fname!r}")
+            expr = K.Field(expr, fname, offset, line=ftok[2])
+            stype = sdef.field_types.get(fname)
+
+    def parse_primary(self) -> Tuple[K.Expr, Optional[str]]:
+        tok = self.next()
+        k, v, line = tok
         if k == "num":
-            return K.Const(int(v))
+            return K.Const(int(v)), None
         if k == "op" and v == "(":
             inner = self.parse_expr()
             self.expect("op", ")")
-            return inner
+            return inner, None
+        if k == "op" and v == "&":
+            ntok = self.peek()
+            name = self.expect("name")
+            if not (name in self.locals_ or name in self.params
+                    or name in self.statics
+                    or any(name == a for a, _s in self.arrays)):
+                raise self.error(
+                    ntok, f"cannot take the address of undeclared "
+                          f"name {name!r}")
+            return K.AddrOf(name, line=line), self.var_types.get(
+                name, self.static_types.get(name))
+        if k == "kw" and v == "new":
+            if self.accept("op", "["):
+                count = self.parse_expr()
+                self.expect("op", "]")
+                return K.New(count, None, line=line), None
+            stok = self.peek()
+            sname = self.expect("name")
+            sdef = self.structs.get(sname)
+            if sdef is None:
+                raise self.error(
+                    stok, f"new: unknown struct {sname!r} (structs must "
+                          "be defined before they are allocated)")
+            return (K.New(K.Const(sdef.size), sname, line=line), sname)
         if k != "name":
-            raise CompileError(f"line {line}: unexpected {v!r} in expression")
+            raise self.error(tok, "unexpected token in expression")
         # call?
         if self.accept("op", "("):
             args: List[K.Expr] = []
@@ -261,24 +469,33 @@ class _Parser:
                 while self.accept("op", ","):
                     args.append(self.parse_expr())
                 self.expect("op", ")")
-            return K.CallExpr(v, tuple(args))
+            if v in self.locals_ or v in self.params or v in self.statics:
+                # Calling through a declared variable: indirect call.
+                return (K.CallIndirect(self._name_ref(v, tok),
+                                       tuple(args), line=line), None)
+            return K.CallExpr(v, tuple(args)), None
         # index?
         if self.accept("op", "["):
             index = self.parse_expr()
             self.expect("op", "]")
             if any(name == v for name, _size in self.arrays):
-                return K.LocalArr(v, index)
-            return K.Deref(self._name_ref(v), index)
-        return self._name_ref(v)
+                return K.LocalArr(v, index), None
+            return K.Deref(self._name_ref(v, tok), index), None
+        if v in self.func_names and not (
+                v in self.locals_ or v in self.params or v in self.statics):
+            # A bare function name is a function value.
+            return K.FuncRef(v, line=line), None
+        ref = self._name_ref(v, tok)
+        return ref, self.var_types.get(v, self.static_types.get(v))
 
-    def _name_ref(self, name: str) -> K.Expr:
+    def _name_ref(self, name: str, tok: Token) -> K.Expr:
         if name in self.locals_:
             return K.Local(name)
         if name in self.params:
             return K.Param(name)
         if name in self.statics:
             return K.Static(name)
-        raise CompileError(f"undeclared name {name!r}")
+        raise self.error(tok, f"undeclared name {name!r}")
 
 
 def parse_kernel(text: str, name: str = "kernel") -> K.KernelProgram:
@@ -286,7 +503,7 @@ def parse_kernel(text: str, name: str = "kernel") -> K.KernelProgram:
     return _Parser(text).parse_program(name)
 
 
-def compile_source(text: str, name: str = "kernel"):
+def compile_source(text: str, name: str = "kernel", regalloc: str = "naive"):
     """Parse and compile in one step; returns an ObjectFile."""
     from repro.instrument.compiler import compile_kernel
-    return compile_kernel(parse_kernel(text, name))
+    return compile_kernel(parse_kernel(text, name), regalloc=regalloc)

@@ -1,0 +1,348 @@
+"""Register allocation for the kernel compiler.
+
+Two bindings share one interface (``take``/``give``):
+
+* :class:`NaiveBinding` replays the historical expression-stack
+  discipline of the deleted ``_RegPool`` — physical temporaries handed
+  out lowest-index-first, returned LIFO — so the default pipeline's
+  generated code (and therefore every paper table derived from it) is
+  byte-identical to what the single-pass compiler always produced.  Its
+  exhaustion error keeps the old contract, upgraded to name the function
+  and source line.
+
+* :class:`VirtualBinding` hands out unbounded virtual registers
+  (``%0``, ``%1``, …); the compiler then emits three-address code with
+  register-homed scalars, and :func:`bind_registers` lowers the virtual
+  code onto the physical temporaries with a liveness-driven linear scan
+  (Poletto & Sarkar), spilling to fresh frame slots when pressure
+  exceeds the register file.
+
+Why call-crossing virtual registers need no special handling: each
+function activation in :mod:`repro.instrument.machine` owns a private
+register file (``_call`` builds a fresh ``regs`` dict per frame), so a
+callee can never clobber a caller's temporaries.  Calls here are not a
+kill site — which is precisely what lets register-homed loop variables
+survive the call-heavy kernels and cuts their load/store traffic.
+
+Spill code is deliberately fp-relative (``ld/st …(fp)``): the static
+filter classifies every spill access as stack-private, so better
+register allocation never inflates the instrumented-access counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CompileError
+from repro.instrument.isa import (ALU_OPS, FP, TEMP_REGS, Function,
+                                  Instruction, Op)
+
+#: Physical registers linear scan may assign.  The last two temporaries
+#: are reserved as spill scratch so a spilled operand can always be
+#: materialized without evicting a live value.
+SPILL_SCRATCH: Tuple[str, ...] = TEMP_REGS[-2:]
+ALLOCATABLE: Tuple[str, ...] = TEMP_REGS[:-2]
+
+#: Virtual registers are ``%N`` — a prefix no physical register uses
+#: (``v0`` is the return-value register, so a bare ``v`` would clash).
+VREG_PREFIX = "%"
+
+
+def is_vreg(reg: Optional[str]) -> bool:
+    return bool(reg) and reg.startswith(VREG_PREFIX)
+
+
+class NaiveBinding:
+    """Expression-stack temporary binding (the historical discipline)."""
+
+    #: Scalars stay memory-homed; every reference loads, every
+    #: assignment stores — the paper-faithful unoptimized codegen.
+    registers_variables = False
+
+    def __init__(self, context: Callable[[], Tuple[str, int]]):
+        self._free = list(reversed(TEMP_REGS))
+        self._context = context
+
+    def take(self) -> str:
+        if not self._free:
+            fn_name, line = self._context()
+            where = f" at line {line}" if line else ""
+            raise CompileError(
+                f"function {fn_name!r}{where}: expression too deep: "
+                "out of temporary registers")
+        return self._free.pop()
+
+    def give(self, reg: str) -> None:
+        if reg in TEMP_REGS:
+            self._free.append(reg)
+
+
+class VirtualBinding:
+    """Unbounded virtual registers; bound later by linear scan."""
+
+    registers_variables = True
+
+    def __init__(self, context: Callable[[], Tuple[str, int]]):
+        self._n = 0
+
+    def take(self) -> str:
+        reg = f"{VREG_PREFIX}{self._n}"
+        self._n += 1
+        return reg
+
+    def give(self, reg: str) -> None:  # liveness decides lifetimes
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Dataflow: def/use sets, control flow, liveness.
+# --------------------------------------------------------------------- #
+def _def_use(ins: Instruction) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(defined, used) register names of one instruction."""
+    op = ins.op
+    if op is Op.ST:
+        uses = tuple(r for r in (ins.reg, ins.base) if r)
+        return (), uses
+    if op is Op.LD:
+        return ((ins.reg,) if ins.reg else ()), \
+            ((ins.base,) if ins.base else ())
+    if op in (Op.LI, Op.LA):
+        return ((ins.reg,) if ins.reg else ()), ()
+    if op is Op.MOV:
+        return ((ins.reg,) if ins.reg else ()), ins.srcs
+    if op in ALU_OPS:
+        return ((ins.reg,) if ins.reg else ()), ins.srcs
+    if op in (Op.BEQZ, Op.BNEZ, Op.CALLR):
+        return (), ins.srcs
+    return (), ()
+
+
+def _blocks_and_successors(
+        code: Sequence[Instruction]
+) -> Tuple[List[Tuple[int, int]], Dict[int, List[int]]]:
+    """Basic blocks of a linear instruction list and the CFG over them."""
+    starts = {0}
+    labels: Dict[str, int] = {}
+    for i, ins in enumerate(code):
+        if ins.op is Op.LABEL:
+            starts.add(i)
+            labels[ins.target] = i
+        if ins.op in (Op.BEQZ, Op.BNEZ, Op.J, Op.RET) and i + 1 < len(code):
+            starts.add(i + 1)
+    ordered = sorted(starts)
+    blocks = [(s, e) for s, e in
+              zip(ordered, ordered[1:] + [len(code)]) if s < e]
+    block_of = {}
+    for bi, (s, e) in enumerate(blocks):
+        for i in range(s, e):
+            block_of[i] = bi
+    succs: Dict[int, List[int]] = {bi: [] for bi in range(len(blocks))}
+    for bi, (s, e) in enumerate(blocks):
+        last = code[e - 1]
+        if last.op is Op.RET:
+            continue
+        if last.op is Op.J:
+            succs[bi].append(block_of[labels[last.target]])
+            continue
+        if last.op in (Op.BEQZ, Op.BNEZ):
+            succs[bi].append(block_of[labels[last.target]])
+        if e < len(code):
+            succs[bi].append(block_of[e])
+    return blocks, succs
+
+
+def _liveness(code: Sequence[Instruction]
+              ) -> Tuple[List[Set[str]], List[Set[str]]]:
+    """Per-block (live_in, live_out) of virtual registers (fixpoint)."""
+    blocks, succs = _blocks_and_successors(code)
+    gen: List[Set[str]] = []
+    kill: List[Set[str]] = []
+    for s, e in blocks:
+        g: Set[str] = set()
+        k: Set[str] = set()
+        for i in range(s, e):
+            defs, uses = _def_use(code[i])
+            for u in uses:
+                if is_vreg(u) and u not in k:
+                    g.add(u)
+            for d in defs:
+                if is_vreg(d):
+                    k.add(d)
+        gen.append(g)
+        kill.append(k)
+    live_in = [set() for _ in blocks]  # type: List[Set[str]]
+    live_out = [set() for _ in blocks]  # type: List[Set[str]]
+    changed = True
+    while changed:
+        changed = False
+        for bi in range(len(blocks) - 1, -1, -1):
+            out: Set[str] = set()
+            for sb in succs[bi]:
+                out |= live_in[sb]
+            inn = gen[bi] | (out - kill[bi])
+            if out != live_out[bi] or inn != live_in[bi]:
+                live_out[bi], live_in[bi] = out, inn
+                changed = True
+    return live_in, live_out
+
+
+@dataclass
+class Interval:
+    """Live interval of one virtual register over instruction indices."""
+
+    vreg: str
+    start: int
+    end: int
+
+
+def live_intervals(code: Sequence[Instruction]) -> List[Interval]:
+    """Conservative linear-scan intervals: [first, last] position where
+    the vreg is defined, used, or live across a block boundary."""
+    blocks, _succs = _blocks_and_successors(code)
+    live_in, live_out = _liveness(code)
+    lo: Dict[str, int] = {}
+    hi: Dict[str, int] = {}
+
+    def touch(v: str, pos: int) -> None:
+        if v not in lo or pos < lo[v]:
+            lo[v] = pos
+        if v not in hi or pos > hi[v]:
+            hi[v] = pos
+
+    for bi, (s, e) in enumerate(blocks):
+        for v in live_in[bi]:
+            touch(v, s)
+        for v in live_out[bi]:
+            touch(v, e - 1)
+        for i in range(s, e):
+            defs, uses = _def_use(code[i])
+            for r in defs + tuple(uses):
+                if is_vreg(r):
+                    touch(r, i)
+    out = [Interval(v, lo[v], hi[v]) for v in lo]
+    out.sort(key=lambda iv: (iv.start, iv.end, iv.vreg))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Linear scan (Poletto & Sarkar) with spill slots.
+# --------------------------------------------------------------------- #
+@dataclass
+class AllocationReport:
+    """What binding one function cost."""
+
+    function: str
+    vregs: int = 0
+    spilled: int = 0
+    spill_slots: int = 0
+
+
+def _scan(intervals: List[Interval],
+          registers: Sequence[str]) -> Tuple[Dict[str, str], Dict[str, int]]:
+    """Assign each interval a register or a spill-slot index."""
+    assign: Dict[str, str] = {}
+    slots: Dict[str, int] = {}
+    free = list(reversed(registers))  # pop() yields registers[0] first
+    active: List[Interval] = []      # sorted by end
+    next_slot = 0
+    for iv in intervals:
+        # Expire intervals that ended before this one starts.
+        while active and active[0].end < iv.start:
+            free.append(assign[active.pop(0).vreg])
+        if free:
+            assign[iv.vreg] = free.pop()
+        else:
+            # Spill the interval with the furthest end.
+            victim = active[-1]
+            if victim.end > iv.end:
+                assign[iv.vreg] = assign.pop(victim.vreg)
+                slots[victim.vreg] = next_slot
+                active.pop()
+            else:
+                slots[iv.vreg] = next_slot
+                next_slot += 1
+                continue
+            next_slot += 1
+        active.append(iv)
+        active.sort(key=lambda a: a.end)
+    return assign, slots
+
+
+def bind_registers(fn: Function,
+                   registers: Sequence[str] = ALLOCATABLE,
+                   scratch: Sequence[str] = SPILL_SCRATCH
+                   ) -> Tuple[Function, AllocationReport]:
+    """Lower a virtual-register function onto physical registers.
+
+    Returns the rewritten function (spill slots appended to the frame)
+    and a report.  Functions with no virtual registers pass through
+    untouched.
+    """
+    code = list(fn.instructions)
+    intervals = live_intervals(code)
+    report = AllocationReport(fn.name, vregs=len(intervals))
+    if not intervals:
+        return fn, report
+    assign, slots = _scan(intervals, registers)
+    report.spilled = len(slots)
+    report.spill_slots = len(set(slots.values()))
+    slot_base = fn.frame_words
+
+    out: List[Instruction] = []
+    for ins in code:
+        defs, uses = _def_use(ins)
+        vregs_here = [r for r in set(defs) | set(uses) if is_vreg(r)]
+        if not vregs_here:
+            out.append(ins)
+            continue
+        mapping: Dict[str, str] = {}
+        pre: List[Instruction] = []
+        post: List[Instruction] = []
+        scratch_free = list(scratch)
+        # Sources first: spilled operands load into scratch.
+        for r in uses:
+            if not is_vreg(r) or r in mapping:
+                continue
+            if r in assign:
+                mapping[r] = assign[r]
+            else:
+                if not scratch_free:  # pragma: no cover - 2 srcs max
+                    raise CompileError(
+                        f"{fn.name}: out of spill scratch registers")
+                s = scratch_free.pop(0)
+                mapping[r] = s
+                pre.append(Instruction(
+                    Op.LD, reg=s, base=FP,
+                    offset=slot_base + slots[r], origin=ins.origin))
+        for r in defs:
+            if not is_vreg(r) or r in mapping:
+                if is_vreg(r) and r in mapping and r in slots:
+                    # Dest doubles as a spilled source: rewrite in the
+                    # scratch it already occupies, then store back.
+                    post.append(Instruction(
+                        Op.ST, reg=mapping[r], base=FP,
+                        offset=slot_base + slots[r], origin=ins.origin))
+                continue
+            if r in assign:
+                mapping[r] = assign[r]
+            else:
+                s = scratch_free.pop(0) if scratch_free else scratch[0]
+                mapping[r] = s
+                post.append(Instruction(
+                    Op.ST, reg=s, base=FP,
+                    offset=slot_base + slots[r], origin=ins.origin))
+
+        def sub(r: Optional[str]) -> Optional[str]:
+            return mapping.get(r, r) if r else r
+
+        out.extend(pre)
+        out.append(Instruction(
+            ins.op, reg=sub(ins.reg),
+            srcs=tuple(sub(s) for s in ins.srcs), base=sub(ins.base),
+            offset=ins.offset, imm=ins.imm, target=ins.target,
+            origin=ins.origin))
+        out.extend(post)
+
+    frame = fn.frame_words + report.spill_slots
+    return (Function(fn.name, out, fn.section, frame_words=frame), report)

@@ -1,0 +1,89 @@
+"""Negative-syntax table: every parse failure must carry the source
+line, the column, and the offending token.
+
+One table, many broken programs — the error-reporting sweep's contract
+is uniform: ``CompileError`` whose message starts ``line L, col C:`` and
+ends with the offending token in quotes, so a kernel author can find
+the typo without reading the parser."""
+
+import re
+
+import pytest
+
+from repro.errors import CompileError
+from repro.instrument.parser import parse_kernel, tokenize
+
+#: (source, expected line, message substring, offending token substring)
+BAD_PROGRAMS = [
+    # -- malformed declarations ---------------------------------------- #
+    ("func main( { return 0; }", 1, "expected", "{"),
+    ("func main() { local ; }", 1, "expected", ";"),
+    ("func main() { local x; local x; return 0; }", 1, "duplicate", "x"),
+    ("func main(a, a) { return 0; }", 1, "duplicate", "a"),
+    ("func main() { array a[]; }", 1, "expected", "]"),
+    ("func main() {\n  static g;\n}", 2, "static", "static"),
+    # -- undeclared / unknown names ------------------------------------ #
+    ("func main() { return x; }", 1, "undeclared", "x"),
+    ("func main() {\n  y = 1;\n  return 0;\n}", 2, "undeclared", "y"),
+    ("func main() { local p: Missing; return 0; }", 1,
+     "unknown struct", "Missing"),
+    ("func main() { return new Missing; }", 1, "unknown struct", "Missing"),
+    ("func main() { local x; return &q; }", 1, "address", "q"),
+    # -- struct typing -------------------------------------------------- #
+    ("struct P { a; }\nfunc main() {\n  local x;\n  x = 1;\n  return x.a;\n}",
+     5, "no declared struct type", "."),
+    ("struct P { a; }\nfunc main() {\n  local p: P;\n  p = new P;\n"
+     "  return p.zz;\n}", 5, "no field", "zz"),
+    ("struct P { a; a; }\nfunc main() { return 0; }", 1, "duplicate", "a"),
+    # -- statements ----------------------------------------------------- #
+    ("func main() { 1 + 2 = 3; }", 1, "assign", "1"),
+    ("func main() { if 1 { return 0; } }", 1, "expected", "1"),
+    ("func main() { for (i = 0; i < 3; i -= 1) {} }", 1, "undeclared", "i"),
+    ("func main() { local i; for (i = 0; i < 3; i *= 1) {} }", 1,
+     "expected", "*"),
+    ("func main() { return 0 }", 1, "expected", "}"),
+    ("func main() { delete ; }", 1, "unexpected", ";"),
+    # -- expressions ---------------------------------------------------- #
+    ("func main() { return (1 + ; }", 1, "unexpected", ";"),
+    ("func main() { return 1 + + 2; }", 1, "unexpected", "+"),
+    ("func main() { local a; return a[1; }", 1, "expected", ";"),
+]
+
+
+@pytest.mark.parametrize("src, line, needle, tok",
+                         BAD_PROGRAMS,
+                         ids=[f"case{i}" for i in range(len(BAD_PROGRAMS))])
+def test_error_carries_location_and_token(src, line, needle, tok):
+    with pytest.raises(CompileError) as err:
+        parse_kernel(src)
+    msg = str(err.value)
+    m = re.match(r"^line (\d+), col (\d+): ", msg)
+    assert m, f"no location prefix in: {msg}"
+    assert int(m.group(1)) == line, msg
+    assert needle in msg, msg
+    assert repr(tok)[1:-1] in msg or f"{tok!r}" in msg, msg
+
+
+def test_columns_point_into_the_line():
+    src = "func main() {\n  return      oops;\n}"
+    with pytest.raises(CompileError) as err:
+        parse_kernel(src)
+    m = re.match(r"^line 2, col (\d+)", str(err.value))
+    assert m
+    col = int(m.group(1))
+    assert src.splitlines()[1][col - 1:col + 3] == "oops"
+
+
+def test_tokenizer_tracks_lines_and_columns():
+    toks = tokenize("func f() {\n  local xyz;\n}")
+    xyz = next(t for t in toks if t.value == "xyz")
+    assert xyz.line == 2
+    assert xyz.col == 9
+    kind, value, line = xyz  # 3-tuple unpacking stays supported
+    assert (kind, value, line) == ("name", "xyz", 2)
+
+
+def test_eof_error_is_located():
+    with pytest.raises(CompileError) as err:
+        parse_kernel("func main() { return 1 +")
+    assert re.match(r"^line \d+, col \d+: ", str(err.value))
